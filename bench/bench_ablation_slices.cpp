@@ -1,0 +1,120 @@
+// E10 (ablation) — why exactly ⌈(|V|+f+1)/2⌉?
+//
+// Algorithm 2 sets the sink slice size to m* = ⌈(|V|+f+1)/2⌉. This ablation
+// sweeps the slice size m around m* and reports, for each (|V|, f, m):
+//   - intersection_ok: min pairwise quorum intersection > f (Theorem 3's
+//     requirement; needs m large),
+//   - availability_ok: an all-correct quorum exists under worst-case
+//     failure placement (Theorem 4's requirement; needs m small),
+// demonstrating that m* is the unique sweet spot: smaller m loses
+// intersection, larger m loses availability, and m* (and only a narrow
+// band) satisfies both. Analytic forms: intersection 2m − |V| > f needs
+// m > (|V|+f)/2; availability needs m <= |V| − f.
+#include "bench_common.hpp"
+
+namespace scup {
+namespace {
+
+/// Builds the Algorithm-2-like FBQS but with sink slice size forced to m.
+fbqs::FbqsSystem system_with_slice_size(std::size_t n, const NodeSet& sink,
+                                        std::size_t f, std::size_t m) {
+  fbqs::FbqsSystem sys(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    if (sink.contains(i)) {
+      sys.set_slices(i, fbqs::SliceSet::threshold(m, sink));
+    } else {
+      sys.set_slices(i, fbqs::SliceSet::threshold(f + 1, sink));
+    }
+  }
+  return sys;
+}
+
+void BM_Ablation_SliceSize(benchmark::State& state) {
+  const std::size_t sink_size = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = static_cast<std::size_t>(state.range(1));
+  const int delta = static_cast<int>(state.range(2));  // m = m* + delta
+  const std::size_t m_star = sinkdetector::sink_slice_size(sink_size, f);
+  const std::size_t m = static_cast<std::size_t>(
+      std::max<int>(1, static_cast<int>(m_star) + delta));
+  const std::size_t n = sink_size + 2;
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < sink_size; ++i) sink.add(i);
+
+  bool intersection_ok = false;
+  bool availability_ok = false;
+  for (auto _ : state) {
+    if (m > sink_size) {
+      intersection_ok = availability_ok = false;
+      break;
+    }
+    const auto sys = system_with_slice_size(n, sink, f, m);
+    // Theorem-3 check on a representative mixed group.
+    NodeSet group(n, {0, 1, static_cast<ProcessId>(sink_size)});
+    const auto report = sys.check_intertwined(group, f);
+    intersection_ok = report.ok;
+    // Theorem-4 check under worst-case placement: f faults in the sink.
+    NodeSet faulty(n);
+    for (ProcessId i = 0; i < f; ++i) faulty.add(i);
+    const NodeSet w = faulty.complement();
+    availability_ok = true;
+    for (ProcessId i : w) {
+      if (!sys.find_quorum_for(i, w).has_value()) availability_ok = false;
+    }
+    benchmark::DoNotOptimize(availability_ok);
+  }
+  state.counters["m"] = static_cast<double>(m);
+  state.counters["m_star"] = static_cast<double>(m_star);
+  state.counters["intersection_ok"] = intersection_ok ? 1 : 0;
+  state.counters["availability_ok"] = availability_ok ? 1 : 0;
+  state.counters["both_ok"] = (intersection_ok && availability_ok) ? 1 : 0;
+}
+BENCHMARK(BM_Ablation_SliceSize)
+    ->ArgsProduct({{6, 7}, {1}, {-2, -1, 0, 1, 2}})
+    ->ArgsProduct({{8}, {2}, {-2, -1, 0, 1}});
+
+void BM_Ablation_NonSinkSliceSize(benchmark::State& state) {
+  // The non-sink slice size f+1 is likewise tight: with only f members per
+  // slice, a slice can be all-faulty (Lemma 2 violated) and the non-sink
+  // member can be partitioned from the sink's intersection guarantee.
+  const std::size_t sink_size = 6;
+  const std::size_t f = 2;
+  const std::size_t n = sink_size + 2;
+  const std::size_t ns_m = static_cast<std::size_t>(state.range(0));
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < sink_size; ++i) sink.add(i);
+
+  bool lemma2_ok = false;
+  for (auto _ : state) {
+    fbqs::FbqsSystem sys(n);
+    for (ProcessId i = 0; i < n; ++i) {
+      sys.set_slices(i, sink.contains(i)
+                            ? fbqs::SliceSet::threshold(
+                                  sinkdetector::sink_slice_size(sink_size, f),
+                                  sink)
+                            : fbqs::SliceSet::threshold(ns_m, sink));
+    }
+    // Lemma 2: does the non-sink member keep a slice avoiding any f faults?
+    lemma2_ok = true;
+    NodeSet faulty(n);
+    for (ProcessId i = 0; i < f; ++i) faulty.add(i);
+    if (sys.slices_of(static_cast<ProcessId>(sink_size)).blocked_by(faulty)) {
+      // blocked means every slice hits the faulty set — fine as long as a
+      // *different* slice family choice... no: Lemma 2 demands a slice
+      // avoiding it. But the requirement here is subtler: the slice just
+      // needs to contain >= 1 *correct* sink member, which needs ns_m >= f+1.
+      lemma2_ok = false;
+    }
+    // A slice of size <= f can be entirely faulty.
+    if (ns_m <= f) lemma2_ok = false;
+    benchmark::DoNotOptimize(lemma2_ok);
+  }
+  state.counters["non_sink_m"] = static_cast<double>(ns_m);
+  state.counters["f_plus_1"] = static_cast<double>(f + 1);
+  state.counters["safe"] = lemma2_ok ? 1 : 0;
+}
+BENCHMARK(BM_Ablation_NonSinkSliceSize)->DenseRange(1, 4);
+
+}  // namespace
+}  // namespace scup
+
+BENCHMARK_MAIN();

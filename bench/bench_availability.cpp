@@ -1,0 +1,116 @@
+// E4 — Theorem 4: quorum availability. With Algorithm-2 slices, every
+// correct process has a quorum made entirely of correct processes, for any
+// failure placement with |F| <= f, provided the sink keeps >= 2f+1 correct
+// members.
+//
+// The bench sweeps |V_sink| and f, enumerates every failure placement
+// inside the sink (the hard case: non-sink failures never affect quorum
+// availability of others), and reports the fraction of (placement, process)
+// pairs with an all-correct quorum — expected 1.0. It also measures the
+// quorum-closure search cost.
+#include "bench_common.hpp"
+
+namespace scup {
+namespace {
+
+void BM_Availability_AllSinkPlacements(benchmark::State& state) {
+  const std::size_t sink_size = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = sink_size + 2;
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < sink_size; ++i) sink.add(i);
+  const auto sys = bench::algorithm2_system(n, sink, f);
+
+  std::size_t checked = 0, available = 0;
+  for (auto _ : state) {
+    checked = available = 0;
+    // Enumerate all faulty subsets of the sink of size exactly f.
+    std::vector<ProcessId> members = sink.to_vector();
+    std::vector<std::size_t> index(f);
+    for (std::size_t i = 0; i < f; ++i) index[i] = i;
+    bool done = false;
+    while (!done) {
+      NodeSet faulty(n);
+      for (std::size_t i : index) faulty.add(members[i]);
+      if (sink.count() - faulty.count() >= 2 * f + 1) {
+        const NodeSet w = faulty.complement();
+        for (ProcessId i : w) {
+          ++checked;
+          if (sys.find_quorum_for(i, w).has_value()) ++available;
+        }
+      }
+      // next combination
+      std::size_t pos = f;
+      while (pos > 0) {
+        --pos;
+        if (index[pos] + (f - pos) < members.size()) {
+          ++index[pos];
+          for (std::size_t j = pos + 1; j < f; ++j) index[j] = index[j - 1] + 1;
+          break;
+        }
+        if (pos == 0) done = true;
+      }
+      if (f == 0) done = true;
+    }
+    benchmark::DoNotOptimize(available);
+  }
+  state.counters["pairs_checked"] = static_cast<double>(checked);
+  state.counters["availability_rate"] =
+      checked == 0 ? 1.0
+                   : static_cast<double>(available) / static_cast<double>(checked);
+}
+BENCHMARK(BM_Availability_AllSinkPlacements)
+    ->ArgsProduct({{4, 5, 6, 7}, {1}})
+    ->Args({7, 2})
+    ->Args({8, 2});
+
+void BM_Availability_InsufficientSinkViolates(benchmark::State& state) {
+  // Control experiment: when the sink has only 2f correct members, Theorem
+  // 4's precondition fails and availability is indeed lost for sink
+  // members (the theorem is tight).
+  const std::size_t f = 1;
+  const std::size_t sink_size = 2 * f + 1;  // 3 members...
+  const std::size_t n = sink_size + 1;
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < sink_size; ++i) sink.add(i);
+  const auto sys = bench::algorithm2_system(n, sink, f);
+  // ...but f of them fail: only 2f = 2 correct remain, below 2f+1.
+  NodeSet faulty(n, {0});
+  const NodeSet w = faulty.complement();
+  bool any_unavailable = false;
+  for (auto _ : state) {
+    any_unavailable = false;
+    for (ProcessId i : w) {
+      if (!sys.find_quorum_for(i, w).has_value()) any_unavailable = true;
+    }
+    benchmark::DoNotOptimize(any_unavailable);
+  }
+  state.counters["tightness_shown"] = any_unavailable ? 1 : 0;
+}
+BENCHMARK(BM_Availability_InsufficientSinkViolates);
+
+void BM_Availability_ClosureCostLargeScale(benchmark::State& state) {
+  // Pure cost of the greatest-fixpoint quorum search at larger n (threshold
+  // slices are closed-form, so this scales well beyond enumeration).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = 3;
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < n / 2; ++i) sink.add(i);
+  const auto sys = bench::algorithm2_system(n, sink, f);
+  NodeSet faulty(n);
+  for (ProcessId i = 0; i < f; ++i) faulty.add(i);
+  const NodeSet w = faulty.complement();
+  for (auto _ : state) {
+    for (ProcessId i : w) {
+      benchmark::DoNotOptimize(sys.find_quorum_for(i, w));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.count()));
+}
+BENCHMARK(BM_Availability_ClosureCostLargeScale)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace scup
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Shared helpers for the experiment benches. Each bench binary regenerates
+// one experiment from DESIGN.md's index (E1..E9) and doubles as a
+// performance benchmark of the code paths involved. The ->Report rows (via
+// counters) are the "tables"; EXPERIMENTS.md records the reference output.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "fbqs/quorum.hpp"
+#include "graph/generators.hpp"
+#include "graph/kosr.hpp"
+#include "graph/scc.hpp"
+#include "sinkdetector/slice_builder.hpp"
+
+namespace scup::bench {
+
+/// Builds the FBQS of Algorithm 2 for a given sink (used by the analytic
+/// experiments E1-E4/E9).
+inline fbqs::FbqsSystem algorithm2_system(std::size_t n, const NodeSet& sink,
+                                          std::size_t f) {
+  fbqs::FbqsSystem sys(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    sinkdetector::GetSinkResult r;
+    r.is_sink_member = sink.contains(i);
+    r.sink = sink;
+    sys.set_slices(i, sinkdetector::build_slices(r, f));
+  }
+  return sys;
+}
+
+/// Builds the Theorem-2 "local" FBQS from PDs alone.
+inline fbqs::FbqsSystem local_system(const graph::Digraph& g, std::size_t f) {
+  fbqs::FbqsSystem sys(g.node_count());
+  for (ProcessId i = 0; i < g.node_count(); ++i) {
+    const NodeSet pd = g.pd_of(i);
+    if (pd.count() > f) {
+      sys.set_slices(i, sinkdetector::local_slices(pd, f));
+    }
+  }
+  return sys;
+}
+
+/// Standard scenario configuration for the simulation experiments (E5-E7).
+inline core::ScenarioConfig sim_scenario(graph::Digraph g, std::size_t f,
+                                         NodeSet faulty, std::uint64_t seed,
+                                         core::ProtocolKind protocol) {
+  core::ScenarioConfig cfg;
+  cfg.graph = std::move(g);
+  cfg.f = f;
+  cfg.faulty = std::move(faulty);
+  cfg.protocol = protocol;
+  cfg.net.seed = seed;
+  cfg.net.min_delay = 1;
+  cfg.net.max_delay = 10;
+  cfg.deadline = 5'000'000;
+  return cfg;
+}
+
+}  // namespace scup::bench

@@ -1,0 +1,83 @@
+// E1 — Fig. 1 of the paper: the worked quorum example.
+//
+// Regenerates the facts the figure walks through: Q5=Q6=Q7={5,6,7} (paper
+// ids) is the minimal sink quorum, every correct pair is intertwined, and
+// C2={1..7} is the unique maximal consensus cluster (C1={5,6,7} being a
+// smaller one). Counters report the structural numbers; timed sections
+// benchmark the analysis code paths on the example.
+#include "bench_common.hpp"
+
+#include "fbqs/fig_examples.hpp"
+
+namespace scup {
+namespace {
+
+void BM_Fig1_IsQuorum(benchmark::State& state) {
+  const fbqs::FbqsSystem sys = fbqs::fig1_system();
+  const NodeSet q567(8, {4, 5, 6});  // paper {5,6,7}
+  bool result = false;
+  for (auto _ : state) {
+    result = sys.is_quorum(q567);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["is_quorum"] = result ? 1 : 0;
+}
+BENCHMARK(BM_Fig1_IsQuorum);
+
+void BM_Fig1_AllQuorums(benchmark::State& state) {
+  const fbqs::FbqsSystem sys = fbqs::fig1_system();
+  std::size_t count = 0;
+  for (auto _ : state) {
+    count = sys.all_quorums().size();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["quorum_count"] = static_cast<double>(count);
+}
+BENCHMARK(BM_Fig1_AllQuorums);
+
+void BM_Fig1_Intertwined(benchmark::State& state) {
+  const fbqs::FbqsSystem sys = fbqs::fig1_system();
+  const NodeSet w = graph::fig1_faulty().complement();
+  fbqs::FbqsSystem::IntertwinedReport report;
+  for (auto _ : state) {
+    report = sys.check_intertwined(w, 1);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["intertwined"] = report.ok ? 1 : 0;
+  state.counters["min_intersection"] =
+      static_cast<double>(report.min_intersection);
+}
+BENCHMARK(BM_Fig1_Intertwined);
+
+void BM_Fig1_MaximalCluster(benchmark::State& state) {
+  const fbqs::FbqsSystem sys = fbqs::fig1_system();
+  const NodeSet w = graph::fig1_faulty().complement();
+  std::size_t cluster_size = 0;
+  bool c1_is_cluster = false;
+  for (auto _ : state) {
+    const auto maximal = sys.maximal_consensus_cluster(w, 1);
+    cluster_size = maximal ? maximal->count() : 0;
+    c1_is_cluster = sys.is_consensus_cluster(NodeSet(8, {4, 5, 6}), w, 1);
+    benchmark::DoNotOptimize(cluster_size);
+  }
+  state.counters["maximal_cluster_size"] = static_cast<double>(cluster_size);
+  state.counters["c1_567_is_cluster"] = c1_is_cluster ? 1 : 0;
+}
+BENCHMARK(BM_Fig1_MaximalCluster);
+
+void BM_Fig1_SinkComputation(benchmark::State& state) {
+  const auto g = graph::fig1_graph();
+  NodeSet sink;
+  for (auto _ : state) {
+    sink = graph::unique_sink_component(g);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["sink_size"] = static_cast<double>(sink.count());
+  state.counters["sink_matches_paper"] = sink == graph::fig1_sink() ? 1 : 0;
+}
+BENCHMARK(BM_Fig1_SinkComputation);
+
+}  // namespace
+}  // namespace scup
+
+BENCHMARK_MAIN();

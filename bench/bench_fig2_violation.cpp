@@ -1,0 +1,99 @@
+// E2 — Theorem 2 / Fig. 2: quorum-intersection violation with locally
+// defined slices, and its disappearance under Algorithm 2.
+//
+// Rows:
+//  - Fig2/Local: the paper's counterexample — Q1={5,6,7}, Q2={1,2,3,4}
+//    disjoint (violation=1, min_intersection=0).
+//  - Fig2/Algorithm2: same graph with SD-built slices — no violation.
+//  - RandomFamily/<camp>: the generalized two-camp family; local slices
+//    violate at every size, Algorithm-2 slices never do.
+#include "bench_common.hpp"
+
+#include "fbqs/fig_examples.hpp"
+
+namespace scup {
+namespace {
+
+void BM_Fig2_LocalSlices(benchmark::State& state) {
+  const auto g = graph::fig2_graph();
+  fbqs::FbqsSystem::IntertwinedReport report;
+  bool q1_quorum = false, q2_quorum = false;
+  for (auto _ : state) {
+    const fbqs::FbqsSystem sys = fbqs::fig2_local_system();
+    q1_quorum = sys.is_quorum(NodeSet(7, {4, 5, 6}));     // paper {5,6,7}
+    q2_quorum = sys.is_quorum(NodeSet(7, {0, 1, 2, 3}));  // paper {1,2,3,4}
+    report = sys.check_intertwined(NodeSet::full(7), 1);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["q1_is_quorum"] = q1_quorum ? 1 : 0;
+  state.counters["q2_is_quorum"] = q2_quorum ? 1 : 0;
+  state.counters["violation"] = report.ok ? 0 : 1;
+  state.counters["min_intersection"] =
+      static_cast<double>(report.min_intersection);
+}
+BENCHMARK(BM_Fig2_LocalSlices);
+
+void BM_Fig2_Algorithm2Slices(benchmark::State& state) {
+  fbqs::FbqsSystem::IntertwinedReport report;
+  for (auto _ : state) {
+    const auto sys = bench::algorithm2_system(7, graph::fig2_sink(), 1);
+    report = sys.check_intertwined(NodeSet::full(7), 1);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["violation"] = report.ok ? 0 : 1;
+  state.counters["min_intersection"] =
+      static_cast<double>(report.min_intersection);
+}
+BENCHMARK(BM_Fig2_Algorithm2Slices);
+
+/// Two-camp family (generalized Fig. 2): sink clique of `camp` nodes plus a
+/// mutually-known non-sink clique of the same size.
+graph::Digraph two_camp_graph(std::size_t camp) {
+  const std::size_t n = 2 * camp;
+  graph::Digraph g(n);
+  for (ProcessId u = 0; u < camp; ++u) {
+    for (ProcessId v = 0; v < camp; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  for (ProcessId u = static_cast<ProcessId>(camp); u < n; ++u) {
+    for (ProcessId v = static_cast<ProcessId>(camp); v < n; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+    g.add_edge(u, u % camp);
+  }
+  return g;
+}
+
+void BM_TwoCampFamily_LocalVsAlgorithm2(benchmark::State& state) {
+  const std::size_t camp = static_cast<std::size_t>(state.range(0));
+  const auto g = two_camp_graph(camp);
+  const std::size_t n = g.node_count();
+  bool local_violates = false;
+  bool algo2_violates = true;
+  for (auto _ : state) {
+    const auto local = bench::local_system(g, 1);
+    NodeSet camp_a(n), camp_b(n);
+    for (ProcessId i = 0; i < camp; ++i) camp_a.add(i);
+    for (ProcessId i = static_cast<ProcessId>(camp); i < n; ++i) {
+      camp_b.add(i);
+    }
+    local_violates = local.is_quorum(camp_a) && local.is_quorum(camp_b) &&
+                     !camp_a.intersects(camp_b);
+
+    NodeSet sink(n);
+    for (ProcessId i = 0; i < camp; ++i) sink.add(i);
+    const auto fixed = bench::algorithm2_system(n, sink, 1);
+    // With Algorithm 2, the non-sink camp alone is never a quorum.
+    algo2_violates = fixed.is_quorum(camp_b);
+    benchmark::DoNotOptimize(local_violates);
+  }
+  state.counters["local_violation"] = local_violates ? 1 : 0;
+  state.counters["algo2_violation"] = algo2_violates ? 1 : 0;
+}
+BENCHMARK(BM_TwoCampFamily_LocalVsAlgorithm2)->DenseRange(3, 8);
+
+}  // namespace
+}  // namespace scup
+
+BENCHMARK_MAIN();

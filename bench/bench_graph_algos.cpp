@@ -1,0 +1,109 @@
+// E8 — Definitions 6-7 as algorithms: cost of verifying k-OSR (SCC +
+// condensation + Menger max-flow disjoint-path checks) and the safe
+// Byzantine failure pattern, vs graph size and k.
+#include "bench_common.hpp"
+
+#include "graph/disjoint_paths.hpp"
+#include "graph/kosr.hpp"
+
+namespace scup {
+namespace {
+
+void BM_Scc(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_digraph(n, 4.0 / static_cast<double>(n), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::strongly_connected_components(g));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Scc)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Condensation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::random_digraph(n, 4.0 / static_cast<double>(n), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::condense(g));
+  }
+}
+BENCHMARK(BM_Condensation)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DisjointPathsSinglePair(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  graph::KosrGenParams params;
+  params.sink_size = n / 2;
+  params.non_sink_size = n - n / 2;
+  params.k = 3;
+  params.seed = 5;
+  const auto g = graph::random_kosr_graph(params);
+  const NodeSet all = NodeSet::full(n);
+  std::size_t paths = 0;
+  for (auto _ : state) {
+    paths = graph::max_vertex_disjoint_paths(
+        g, static_cast<ProcessId>(n - 1), 0, all);
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_DisjointPathsSinglePair)->Arg(16)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_KosrFullCheck(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  graph::KosrGenParams params;
+  params.sink_size = n / 2;
+  params.non_sink_size = n - n / 2;
+  params.k = k;
+  params.seed = 5;
+  const auto g = graph::random_kosr_graph(params);
+  graph::KosrReport report;
+  for (auto _ : state) {
+    report = graph::check_kosr(g, k);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["kosr_holds"] = report.ok() ? 1 : 0;
+}
+BENCHMARK(BM_KosrFullCheck)
+    ->ArgsProduct({{8, 16, 32, 64}, {3}})
+    ->Args({32, 5})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ByzantineSafeCheck(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = 1;
+  graph::KosrGenParams params;
+  params.sink_size = n / 2;
+  params.non_sink_size = n - n / 2;
+  params.k = 2 * f + 1;
+  params.seed = 9;
+  const auto g = graph::random_kosr_graph(params);
+  NodeSet faulty(n, {0});
+  bool safe = false;
+  for (auto _ : state) {
+    safe = graph::is_byzantine_safe(g, faulty, f);
+    benchmark::DoNotOptimize(safe);
+  }
+  state.counters["safe"] = safe ? 1 : 0;
+}
+BENCHMARK(BM_ByzantineSafeCheck)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KosrGeneration(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  graph::KosrGenParams params;
+  params.sink_size = n / 2;
+  params.non_sink_size = n - n / 2;
+  params.k = 3;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = seed++;
+    benchmark::DoNotOptimize(graph::random_kosr_graph(params));
+  }
+}
+BENCHMARK(BM_KosrGeneration)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace scup
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// E3 — Theorem 3 / Lemmas 3-5 (Fig. 3): with Algorithm-2 slices, every pair
+// of correct processes is intertwined through the sink.
+//
+// For the threshold families of Algorithm 2 the worst-case quorum
+// intersections have closed forms:
+//   sink/sink:       2m - |V|            (m = ⌈(|V|+f+1)/2⌉)
+//   sink/non-sink:   2m - |V|            (non-sink quorums embed a sink one)
+//   non-sink pairs:  2m - |V|
+// all of which are > f by construction. The bench reports the measured
+// minimum intersection per pair class (via exhaustive minimal quorums on
+// small universes) against the analytic bound, sweeping |V_sink| and f.
+#include "bench_common.hpp"
+
+namespace scup {
+namespace {
+
+void BM_Intertwined_MinIntersectionByClass(benchmark::State& state) {
+  const std::size_t sink_size = static_cast<std::size_t>(state.range(0));
+  const std::size_t f = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = sink_size + 3;  // three non-sink observers
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < sink_size; ++i) sink.add(i);
+
+  fbqs::FbqsSystem::IntertwinedReport sink_pair, mixed_pair, nonsink_pair;
+  for (auto _ : state) {
+    const auto sys = bench::algorithm2_system(n, sink, f);
+    NodeSet two_sink(n, {0, 1});
+    NodeSet mixed(n, {0, static_cast<ProcessId>(sink_size)});
+    NodeSet two_nonsink(n, {static_cast<ProcessId>(sink_size),
+                            static_cast<ProcessId>(sink_size + 1)});
+    sink_pair = sys.check_intertwined(two_sink, f);
+    mixed_pair = sys.check_intertwined(mixed, f);
+    nonsink_pair = sys.check_intertwined(two_nonsink, f);
+    benchmark::DoNotOptimize(nonsink_pair);
+  }
+  const std::size_t m = sinkdetector::sink_slice_size(sink_size, f);
+  state.counters["analytic_bound"] = static_cast<double>(2 * m - sink_size);
+  state.counters["f"] = static_cast<double>(f);
+  state.counters["sink_sink_min"] =
+      static_cast<double>(sink_pair.min_intersection);
+  state.counters["sink_nonsink_min"] =
+      static_cast<double>(mixed_pair.min_intersection);
+  state.counters["nonsink_nonsink_min"] =
+      static_cast<double>(nonsink_pair.min_intersection);
+  state.counters["all_intertwined"] =
+      (sink_pair.ok && mixed_pair.ok && nonsink_pair.ok) ? 1 : 0;
+}
+BENCHMARK(BM_Intertwined_MinIntersectionByClass)
+    ->ArgsProduct({{4, 5, 6, 7, 8}, {1}})
+    ->Args({7, 2})
+    ->Args({8, 2})
+    ->Args({9, 2});
+
+void BM_Intertwined_AnalyticMarginSweep(benchmark::State& state) {
+  // Large-scale analytic sweep (no enumeration): margin = 2m - |V| - f over
+  // a range of sink sizes, demonstrating the bound never dips to f.
+  const std::size_t f = static_cast<std::size_t>(state.range(0));
+  std::size_t min_margin = SIZE_MAX;
+  for (auto _ : state) {
+    min_margin = SIZE_MAX;
+    for (std::size_t v = 2 * f + 1; v <= 512; ++v) {
+      const std::size_t m = sinkdetector::sink_slice_size(v, f);
+      const std::size_t inter = 2 * m - v;
+      min_margin = std::min(min_margin, inter - f);
+    }
+    benchmark::DoNotOptimize(min_margin);
+  }
+  state.counters["f"] = static_cast<double>(f);
+  // Theorem 3 requires intersection > f, i.e. margin >= 1.
+  state.counters["min_margin_over_f"] = static_cast<double>(min_margin);
+}
+BENCHMARK(BM_Intertwined_AnalyticMarginSweep)->DenseRange(1, 8);
+
+}  // namespace
+}  // namespace scup
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// E9 — Algorithm 1: is_quorum and quorum-closure cost, explicit slice
+// lists vs threshold families, vs universe size. Threshold families (what
+// Algorithm 2 emits) evaluate in O(|V|) per member regardless of the
+// (combinatorially large) number of denoted slices — the representation
+// choice DESIGN.md §4.2 calls out.
+#include "bench_common.hpp"
+
+#include "common/rng.hpp"
+
+namespace scup {
+namespace {
+
+fbqs::FbqsSystem explicit_system(std::size_t n, std::size_t slices_per_node,
+                                 std::size_t slice_size, std::uint64_t seed) {
+  Rng rng(seed);
+  fbqs::FbqsSystem sys(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    std::vector<NodeSet> slices;
+    for (std::size_t s = 0; s < slices_per_node; ++s) {
+      NodeSet slice(n);
+      for (ProcessId m : rng.sample_ids(n, slice_size)) slice.add(m);
+      slices.push_back(std::move(slice));
+    }
+    sys.set_slices(i, fbqs::SliceSet::explicit_slices(std::move(slices)));
+  }
+  return sys;
+}
+
+void BM_IsQuorum_Threshold(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < n / 2; ++i) sink.add(i);
+  const auto sys = scup::bench::algorithm2_system(n, sink, 2);
+  const NodeSet q = NodeSet::full(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.is_quorum(q));
+  }
+  state.counters["denoted_slices"] =
+      static_cast<double>(sys.slices_of(0).slice_count());
+}
+BENCHMARK(BM_IsQuorum_Threshold)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_IsQuorum_Explicit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_node = static_cast<std::size_t>(state.range(1));
+  const auto sys = explicit_system(n, per_node, 3, 11);
+  const NodeSet q = NodeSet::full(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.is_quorum(q));
+  }
+}
+BENCHMARK(BM_IsQuorum_Explicit)
+    ->ArgsProduct({{16, 64, 256}, {4, 16, 64}});
+
+void BM_QuorumClosure(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < n / 2; ++i) sink.add(i);
+  const auto sys = scup::bench::algorithm2_system(n, sink, 2);
+  // Start from a set that forces several elimination rounds: everything
+  // except a few sink members.
+  NodeSet candidate = NodeSet::full(n);
+  for (ProcessId i = 0; i < 3; ++i) candidate.remove(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.quorum_closure(candidate));
+  }
+}
+BENCHMARK(BM_QuorumClosure)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MinimalQuorumEnumeration(benchmark::State& state) {
+  // Exhaustive analysis cost (tests-only path) vs universe size.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < n / 2; ++i) sink.add(i);
+  const auto sys = scup::bench::algorithm2_system(n, sink, 1);
+  std::size_t count = 0;
+  for (auto _ : state) {
+    count = sys.minimal_quorums_for(0).size();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["minimal_quorums"] = static_cast<double>(count);
+}
+BENCHMARK(BM_MinimalQuorumEnumeration)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QSetSatisfiedBy(benchmark::State& state) {
+  // The hot path inside SCP's federated voting.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  NodeSet sink(n);
+  for (ProcessId i = 0; i < n / 2; ++i) sink.add(i);
+  const fbqs::QSet qset =
+      fbqs::QSet::threshold_of((sink.count() + 2 + 1) / 2, sink);
+  NodeSet probe(n);
+  for (ProcessId i = 0; i < n; i += 2) probe.add(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qset.satisfied_by(probe));
+    benchmark::DoNotOptimize(qset.blocked_by(probe));
+  }
+}
+BENCHMARK(BM_QSetSatisfiedBy)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace scup
+
+BENCHMARK_MAIN();

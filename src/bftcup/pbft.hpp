@@ -1,0 +1,169 @@
+// Single-shot PBFT-style Byzantine consensus among a known member set.
+//
+// This is the consensus protocol the BFT-CUP construction runs among the
+// discovered sink members (the paper's baseline, Theorem 1): three phases
+// (pre-prepare / prepare / commit) with quorums of q = ⌈(|S|+f+1)/2⌉ and a
+// certified view change. Signature simulation (sim::Notary) makes prepare
+// certificates and view-change certificates unforgeable, which is what
+// carries safety across views exactly as in PBFT.
+//
+// Quorum arithmetic: with |S| >= 2f+1 correct members plus at most f faulty
+// ones, any two quorums intersect in > f processes (hence in a correct one)
+// and a fully correct quorum always exists — the same inequalities as the
+// paper's Theorem 4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/node_set.hpp"
+#include "sim/host.hpp"
+#include "sim/message.hpp"
+
+namespace scup::bftcup {
+
+inline constexpr int kPbftTimerId = 200;
+
+struct PbftConfig {
+  SimTime view_timeout_base = 400;
+  std::uint32_t timeout_growth_cap = 32;
+};
+
+// ---- messages ----
+
+struct SignedToken {
+  ProcessId signer = kInvalidProcess;
+  std::uint64_t token = 0;
+};
+
+struct PrePrepareMsg final : sim::Message {
+  PrePrepareMsg(std::uint32_t v, Value val) : view(v), value(val) {}
+  std::uint32_t view;
+  Value value;
+  std::string type_name() const override { return "pbft.preprepare"; }
+};
+
+struct PrepareMsg final : sim::Message {
+  PrepareMsg(std::uint32_t v, Value val, std::uint64_t t)
+      : view(v), value(val), token(t) {}
+  std::uint32_t view;
+  Value value;
+  std::uint64_t token;  // sign(sender, prepare_hash(view, value))
+  std::string type_name() const override { return "pbft.prepare"; }
+};
+
+struct CommitMsg final : sim::Message {
+  CommitMsg(std::uint32_t v, Value val, std::uint64_t t)
+      : view(v), value(val), token(t) {}
+  std::uint32_t view;
+  Value value;
+  std::uint64_t token;  // sign(sender, commit_hash(view, value))
+  std::string type_name() const override { return "pbft.commit"; }
+};
+
+/// A view-change vote: "I move to view `new_view`; the highest value I
+/// prepared was `prepared_value` in view `prepared_view` (0 = none), and
+/// here is the prepare certificate proving it."
+struct ViewChangeRecord {
+  ProcessId sender = kInvalidProcess;
+  std::uint32_t new_view = 0;
+  std::uint32_t prepared_view = 0;
+  Value prepared_value = kNoValue;
+  std::vector<SignedToken> prepare_cert;  // q tokens when prepared_view > 0
+  std::uint64_t token = 0;  // sign(sender, viewchange_hash(...))
+};
+
+struct ViewChangeMsg final : sim::Message {
+  explicit ViewChangeMsg(ViewChangeRecord r) : record(std::move(r)) {}
+  ViewChangeRecord record;
+  std::string type_name() const override { return "pbft.viewchange"; }
+  std::size_t byte_size() const override {
+    return 64 + record.prepare_cert.size() * 12;
+  }
+};
+
+/// New leader's view installation: q view-change records justifying the
+/// chosen value.
+struct NewViewMsg final : sim::Message {
+  NewViewMsg(std::uint32_t v, Value val, std::vector<ViewChangeRecord> j)
+      : view(v), value(val), justification(std::move(j)) {}
+  std::uint32_t view;
+  Value value;
+  std::vector<ViewChangeRecord> justification;
+  std::string type_name() const override { return "pbft.newview"; }
+  std::size_t byte_size() const override {
+    return 64 + justification.size() * 80;
+  }
+};
+
+// ---- statement hashes (domain-separated) ----
+
+std::uint64_t prepare_hash(std::uint32_t view, Value value);
+std::uint64_t commit_hash(std::uint32_t view, Value value);
+std::uint64_t viewchange_hash(std::uint32_t new_view,
+                              std::uint32_t prepared_view,
+                              Value prepared_value);
+
+// ---- the consensus state machine ----
+
+class PbftConsensus {
+ public:
+  /// `members` is the (globally agreed) participant set — for BFT-CUP this
+  /// is the discovered sink. self must be a member.
+  PbftConsensus(sim::ProtocolHost& host, NodeSet members,
+                PbftConfig config = {});
+
+  void start(Value proposal);
+  bool handle(ProcessId from, const sim::Message& msg);
+  void on_view_timer();  // host must route kPbftTimerId here
+
+  bool decided() const { return decided_.has_value(); }
+  Value decision() const;
+  std::uint32_t view() const { return view_; }
+  std::size_t quorum_size() const { return q_; }
+  ProcessId leader_of(std::uint32_t view) const;
+
+  std::function<void(Value)> on_decide;
+
+ private:
+  struct Slot {  // per (view, value) vote bookkeeping
+    std::map<ProcessId, std::uint64_t> prepares;
+    std::map<ProcessId, std::uint64_t> commits;
+  };
+
+  void broadcast(const sim::MessagePtr& msg);
+  void enter_view(std::uint32_t view);
+  void accept_proposal(std::uint32_t view, Value value);
+  void check_prepared(std::uint32_t view, Value value);
+  void check_committed(std::uint32_t view, Value value);
+  void send_view_change(std::uint32_t new_view);
+  void try_lead_new_view(std::uint32_t view);
+  bool validate_record(const ViewChangeRecord& r) const;
+  void arm_timer();
+
+  sim::ProtocolHost& host_;
+  NodeSet members_;
+  std::vector<ProcessId> sorted_members_;
+  std::size_t f_;
+  std::size_t q_;
+  PbftConfig config_;
+
+  Value proposal_ = kNoValue;
+  bool started_ = false;
+  std::uint32_t view_ = 0;
+  std::optional<Value> accepted_value_;          // pre-prepared in view_
+  std::uint32_t prepared_view_ = 0;              // highest prepared
+  Value prepared_value_ = kNoValue;
+  std::vector<SignedToken> prepared_cert_;
+  std::optional<Value> decided_;
+
+  std::map<std::pair<std::uint32_t, Value>, Slot> slots_;
+  std::map<std::uint32_t, std::map<ProcessId, ViewChangeRecord>> view_changes_;
+  std::map<std::uint32_t, bool> new_view_sent_;
+  std::map<std::uint32_t, bool> view_change_sent_;
+};
+
+}  // namespace scup::bftcup

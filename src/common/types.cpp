@@ -1,0 +1,10 @@
+#include "common/types.hpp"
+
+namespace scup {
+
+std::string process_name(ProcessId id) {
+  if (id == kInvalidProcess) return "p<invalid>";
+  return "p" + std::to_string(id);
+}
+
+}  // namespace scup

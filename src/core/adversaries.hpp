@@ -1,0 +1,66 @@
+// Byzantine process implementations used for failure injection.
+//
+// The simulator enforces only the model guarantees (authenticated channels,
+// no forged Notary tokens); everything else is fair game for an adversary.
+// Three behaviours cover the paper-relevant attack surface:
+//
+//  - SilentNode: crashes from the start (worst case for availability
+//    arguments: Lemma 2, quorum availability in Theorem 4).
+//  - DiscoveryLiarNode: participates in knowledge discovery but advertises a
+//    fabricated PD certificate (and may equivocate between two fabrications),
+//    attacking the sink detector's accuracy; stays silent in consensus.
+//  - ScpEquivocatorNode: runs discovery honestly, then sends conflicting
+//    nomination envelopes to different halves of its peers and goes silent
+//    in the ballot protocol, attacking SCP's agreement.
+#pragma once
+
+#include <optional>
+
+#include "common/node_set.hpp"
+#include "scp/envelope.hpp"
+#include "sim/composed.hpp"
+#include "sinkdetector/sink_detector.hpp"
+
+namespace scup::core {
+
+/// Does nothing, ever.
+class SilentNode : public sim::Process {
+ public:
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+};
+
+/// Runs the full discovery stack but with a fabricated PD. If
+/// `second_fake_pd` is set, it equivocates: DISCOVER/gossip replies carry
+/// one certificate or the other depending on the recipient's parity.
+class DiscoveryLiarNode : public sim::ComposedNode {
+ public:
+  DiscoveryLiarNode(NodeSet real_pd, NodeSet fake_pd, std::size_t f,
+                    std::optional<NodeSet> second_fake_pd = std::nullopt);
+
+  void start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  NodeSet real_pd_;
+  NodeSet fake_pd_;
+  std::optional<NodeSet> second_fake_pd_;
+};
+
+/// Honest during discovery; equivocates in SCP nomination, then goes silent.
+class ScpEquivocatorNode : public sim::ComposedNode {
+ public:
+  ScpEquivocatorNode(NodeSet pd, std::size_t f, Value value_a, Value value_b);
+
+  void start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+
+ private:
+  void on_sink(const sinkdetector::GetSinkResult& result);
+
+  NodeSet pd_;
+  Value value_a_;
+  Value value_b_;
+  sinkdetector::SinkDetector detector_;
+};
+
+}  // namespace scup::core

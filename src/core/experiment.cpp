@@ -1,0 +1,183 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "bftcup/bftcup_node.hpp"
+#include "core/adversaries.hpp"
+#include "core/stellar_cup_node.hpp"
+#include "graph/scc.hpp"
+
+namespace scup::core {
+
+Value default_value(ProcessId i) { return 1000 + i; }
+
+namespace {
+
+/// Installs the adversary implementation for faulty process `i`.
+void install_adversary(sim::Simulation& sim, const ScenarioConfig& config,
+                       ProcessId i) {
+  const NodeSet pd = config.graph.pd_of(i);
+  const std::size_t n = config.graph.node_count();
+  switch (config.adversary) {
+    case AdversaryKind::kSilent:
+      sim.emplace_process<SilentNode>(i);
+      return;
+    case AdversaryKind::kDiscoveryLiar: {
+      // Fabricate edges to the two lowest non-sink ids (dragging outsiders
+      // toward the sink estimate) — the attack Theorem-6's filter defeats.
+      const NodeSet sink = graph::unique_sink_component(config.graph);
+      NodeSet fake(n);
+      for (ProcessId v = 0; v < n && fake.count() < 2; ++v) {
+        if (!sink.contains(v) && v != i) fake.add(v);
+      }
+      if (fake.empty()) fake = pd;
+      sim.emplace_process<DiscoveryLiarNode>(i, pd, fake, config.f);
+      return;
+    }
+    case AdversaryKind::kDiscoveryEquivocator: {
+      const NodeSet sink = graph::unique_sink_component(config.graph);
+      NodeSet fake_a(n), fake_b(n);
+      for (ProcessId v = 0; v < n; ++v) {
+        if (sink.contains(v) || v == i) continue;
+        if (fake_a.count() < 1) {
+          fake_a.add(v);
+        } else if (fake_b.count() < 1) {
+          fake_b.add(v);
+        }
+      }
+      if (fake_a.empty()) fake_a = pd;
+      if (fake_b.empty()) fake_b = pd;
+      sim.emplace_process<DiscoveryLiarNode>(i, pd, fake_a, config.f, fake_b);
+      return;
+    }
+    case AdversaryKind::kScpEquivocator:
+      sim.emplace_process<ScpEquivocatorNode>(i, pd, config.f,
+                                              /*value_a=*/1, /*value_b=*/2);
+      return;
+  }
+  throw std::logic_error("unknown adversary kind");
+}
+
+}  // namespace
+
+ScenarioReport run_scenario(const ScenarioConfig& config) {
+  const std::size_t n = config.graph.node_count();
+  if (config.faulty.count() > config.f) {
+    throw std::invalid_argument("run_scenario: |faulty| > f");
+  }
+
+  sim::Simulation sim(n, config.net);
+  std::vector<StellarCupNode*> stellar(n, nullptr);
+  std::vector<bftcup::BftCupNode*> bft(n, nullptr);
+
+  for (ProcessId i = 0; i < n; ++i) {
+    if (config.faulty.contains(i)) {
+      install_adversary(sim, config, i);
+      continue;
+    }
+    const Value value =
+        i < config.values.size() ? config.values[i] : default_value(i);
+    const NodeSet pd = config.graph.pd_of(i);
+    if (config.protocol == ProtocolKind::kStellarSd) {
+      stellar[i] = &sim.emplace_process<StellarCupNode>(i, pd, config.f, value);
+    } else {
+      bft[i] = &sim.emplace_process<bftcup::BftCupNode>(i, pd, config.f, value);
+    }
+  }
+
+  const NodeSet correct = config.faulty.complement();
+  auto all_decided = [&] {
+    for (ProcessId i : correct) {
+      const bool decided = stellar[i] != nullptr ? stellar[i]->decided()
+                                                 : bft[i]->decided();
+      if (!decided) return false;
+    }
+    return true;
+  };
+
+  sim.start();
+  sim.run_until(all_decided, config.deadline);
+
+  ScenarioReport report;
+  report.true_sink = graph::unique_sink_component(config.graph);
+  report.decision_times.assign(n, kTimeInfinity);
+  report.all_decided = true;
+  report.agreement = true;
+  report.sd_all_returned = true;
+  report.sd_sink_exact = true;
+  report.sd_flags_correct = true;
+  report.sd_last_return = 0;
+
+  std::optional<Value> agreed;
+  for (ProcessId i : correct) {
+    const bool decided =
+        stellar[i] != nullptr ? stellar[i]->decided() : bft[i]->decided();
+    if (!decided) {
+      report.all_decided = false;
+      continue;
+    }
+    const Value v =
+        stellar[i] != nullptr ? stellar[i]->decision() : bft[i]->decision();
+    const SimTime t = stellar[i] != nullptr ? stellar[i]->decision_time()
+                                            : bft[i]->decision_time();
+    report.decision_times[i] = t;
+    report.first_decision = std::min(report.first_decision, t);
+    if (report.last_decision == kTimeInfinity) report.last_decision = t;
+    report.last_decision = std::max(report.last_decision, t);
+    if (!agreed) {
+      agreed = v;
+    } else if (*agreed != v) {
+      report.agreement = false;
+    }
+
+    const bool sd_done = stellar[i] != nullptr ? stellar[i]->sink_detected()
+                                               : bft[i]->sink_detected();
+    if (!sd_done) {
+      report.sd_all_returned = false;
+    } else {
+      const auto& r = stellar[i] != nullptr ? stellar[i]->sink_result()
+                                            : bft[i]->sink_result();
+      if (!(r.sink == report.true_sink)) report.sd_sink_exact = false;
+      if (r.is_sink_member != report.true_sink.contains(i)) {
+        report.sd_flags_correct = false;
+      }
+      if (stellar[i] != nullptr) {
+        report.sd_last_return =
+            std::max(report.sd_last_return, stellar[i]->sink_detect_time());
+      }
+    }
+  }
+  if (agreed) {
+    report.decided_value = *agreed;
+    // Validity: the decided value was proposed by some process. Correct
+    // proposals are known; the ScpEquivocator proposes {1, 2}; any process
+    // may propose default_value(i).
+    for (ProcessId i = 0; i < n; ++i) {
+      const Value proposal =
+          i < config.values.size() ? config.values[i] : default_value(i);
+      if (*agreed == proposal) report.validity = true;
+    }
+    if (config.adversary == AdversaryKind::kScpEquivocator &&
+        (*agreed == 1 || *agreed == 2)) {
+      report.validity = true;
+    }
+  }
+
+  report.metrics = sim.metrics();
+  report.end_time = sim.now();
+  return report;
+}
+
+std::string ScenarioReport::summary() const {
+  std::ostringstream os;
+  os << "decided=" << (all_decided ? "all" : "NOT-ALL")
+     << " agreement=" << (agreement ? "yes" : "VIOLATED")
+     << " validity=" << (validity ? "yes" : "NO") << " value=" << decided_value
+     << " t_first=" << first_decision << " t_last=" << last_decision
+     << " msgs=" << metrics.messages_sent << " bytes=" << metrics.bytes_sent;
+  return os.str();
+}
+
+}  // namespace scup::core

@@ -1,0 +1,72 @@
+// Scenario harness shared by integration tests, benches and examples: build
+// a simulated network from a knowledge connectivity graph, place failures,
+// run a protocol (Stellar+SD or BFT-CUP) to decision, and report
+// correctness + cost metrics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/node_set.hpp"
+#include "graph/digraph.hpp"
+#include "sim/simulation.hpp"
+
+namespace scup::core {
+
+enum class AdversaryKind {
+  kSilent,
+  kDiscoveryLiar,
+  kDiscoveryEquivocator,
+  kScpEquivocator,
+};
+
+enum class ProtocolKind {
+  kStellarSd,  // the paper's construction: SD + Algorithm 2 + SCP
+  kBftCup,     // the baseline: SD + PBFT among sink + dissemination
+};
+
+struct ScenarioConfig {
+  graph::Digraph graph;   // knowledge connectivity graph (PDs)
+  std::size_t f = 0;      // known fault threshold
+  NodeSet faulty;         // actual failure set (|faulty| <= f)
+  AdversaryKind adversary = AdversaryKind::kSilent;
+  ProtocolKind protocol = ProtocolKind::kStellarSd;
+  sim::NetworkConfig net;
+  SimTime deadline = 2'000'000;
+
+  /// Proposal of process i (defaults to i + 1000 when empty).
+  std::vector<Value> values;
+};
+
+struct ScenarioReport {
+  // Consensus properties over correct processes.
+  bool all_decided = false;   // Termination
+  bool agreement = false;     // Agreement (vacuous if none decided)
+  bool validity = false;      // decided value was proposed by some process
+  Value decided_value = kNoValue;
+  SimTime first_decision = kTimeInfinity;
+  SimTime last_decision = kTimeInfinity;
+  std::vector<SimTime> decision_times;  // indexed by process; inf if none
+
+  // Sink detector outcomes (Stellar+SD and BFT-CUP both run it).
+  bool sd_all_returned = false;
+  bool sd_sink_exact = false;  // every returned V equals the true sink
+  bool sd_flags_correct = false;  // is_sink flags match true membership
+  SimTime sd_last_return = kTimeInfinity;
+  NodeSet true_sink;
+
+  sim::SimMetrics metrics;
+  SimTime end_time = 0;
+
+  std::string summary() const;
+};
+
+/// Builds and runs the scenario to completion (all correct processes decide)
+/// or to the deadline.
+ScenarioReport run_scenario(const ScenarioConfig& config);
+
+/// Proposal value used for process i in a scenario (when values is empty).
+Value default_value(ProcessId i);
+
+}  // namespace scup::core

@@ -1,0 +1,64 @@
+// StellarCupNode — the paper's positive construction, end to end:
+//
+//   PD_i + f  --(Algorithm 3: sink detector)-->  ⟨flag, V⟩
+//             --(Algorithm 2: build_slices)--->  S_i (threshold family)
+//             --(SCP over the resulting FBQS)->  decided value
+//
+// This is the public entry point of the library: install one StellarCupNode
+// per correct process in a sim::Simulation (with PD from the knowledge
+// connectivity graph) and run; Theorem 5 says all correct nodes decide the
+// same value whenever the graph is Byzantine-safe for the failure set and
+// the sink has >= 2f+1 correct members.
+#pragma once
+
+#include <optional>
+
+#include "common/node_set.hpp"
+#include "scp/scp_node.hpp"
+#include "sim/composed.hpp"
+#include "sinkdetector/sink_detector.hpp"
+
+namespace scup::core {
+
+struct StellarCupConfig {
+  scp::ScpConfig scp;
+};
+
+class StellarCupNode : public sim::ComposedNode {
+ public:
+  /// `pd` — this process's participant detector output (PD_i);
+  /// `f` — the known fault threshold; `value` — the proposal (must be != 0).
+  StellarCupNode(NodeSet pd, std::size_t f, Value value,
+                 StellarCupConfig config = {});
+
+  void start() override;
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override;
+  void on_timer(int timer_id) override;
+
+  // ---- observable results ----
+  bool sink_detected() const { return detector_.has_result(); }
+  const sinkdetector::GetSinkResult& sink_result() const {
+    return detector_.result();
+  }
+  SimTime sink_detect_time() const { return sd_time_; }
+
+  bool decided() const { return scp_.decided(); }
+  Value decision() const { return scp_.decision(); }
+  SimTime decision_time() const { return decision_time_; }
+
+  const scp::ScpNode& scp() const { return scp_; }
+  const sinkdetector::SinkDetector& detector() const { return detector_; }
+
+ private:
+  void on_sink(const sinkdetector::GetSinkResult& result);
+  void learn_peer(ProcessId p);
+
+  NodeSet pd_;
+  Value value_;
+  sinkdetector::SinkDetector detector_;
+  scp::ScpNode scp_;
+  SimTime sd_time_ = kTimeInfinity;
+  SimTime decision_time_ = kTimeInfinity;
+};
+
+}  // namespace scup::core

@@ -1,0 +1,74 @@
+// Wire messages of the knowledge-discovery layer (Section VI).
+#pragma once
+
+#include <map>
+
+#include "common/node_set.hpp"
+#include "sim/message.hpp"
+
+namespace scup::cup {
+
+/// A participant-detector certificate: process `owner` asserts that its PD
+/// equals `pd`. In the real system this would be signed by `owner`; here the
+/// convention is that only `owner` (or an adversarial `owner`) creates
+/// certificates for itself, and everyone may forward them. A Byzantine owner
+/// may issue conflicting certificates; receivers merge them by union (see
+/// DESIGN.md §4.1).
+struct PdCertificate {
+  ProcessId owner = kInvalidProcess;
+  NodeSet pd;
+};
+
+/// DISCOVER: "send me what you know". Carries the sender's own certificate
+/// so that knowledge also flows forward along the query.
+struct DiscoverMsg final : sim::Message {
+  explicit DiscoverMsg(PdCertificate c) : cert(std::move(c)) {}
+  PdCertificate cert;
+  std::string type_name() const override { return "cup.discover"; }
+  std::size_t byte_size() const override {
+    return 16 + cert.pd.count() * 4;
+  }
+};
+
+/// Reply to DISCOVER (and general gossip): all certificates the sender
+/// holds, merged per owner.
+struct CertGossipMsg final : sim::Message {
+  explicit CertGossipMsg(std::map<ProcessId, NodeSet> c)
+      : certs(std::move(c)) {}
+  std::map<ProcessId, NodeSet> certs;
+  std::string type_name() const override { return "cup.certs"; }
+  std::size_t byte_size() const override {
+    std::size_t total = 16;
+    for (const auto& [owner, pd] : certs) total += 8 + pd.count() * 4;
+    return total;
+  }
+};
+
+/// Step 2/3 of the SINK algorithm: the sender believes the set of processes
+/// it can discover is `known`.
+struct KnownMsg final : sim::Message {
+  explicit KnownMsg(NodeSet k) : known(std::move(k)) {}
+  NodeSet known;
+  std::string type_name() const override { return "cup.known"; }
+  std::size_t byte_size() const override { return 16 + known.count() * 4; }
+};
+
+/// Reachable-reliable broadcast payload: `origin` asks the sink members to
+/// send it the sink (tag GET_SINK in Algorithm 3). Flooded along knowledge
+/// edges with per-origin deduplication.
+struct GetSinkMsg final : sim::Message {
+  explicit GetSinkMsg(ProcessId o) : origin(o) {}
+  ProcessId origin;
+  std::string type_name() const override { return "cup.get_sink"; }
+  std::size_t byte_size() const override { return 20; }
+};
+
+/// ⟨SINK, V⟩ in Algorithm 3: the sender claims the sink component is `sink`.
+struct SinkValueMsg final : sim::Message {
+  explicit SinkValueMsg(NodeSet s) : sink(std::move(s)) {}
+  NodeSet sink;
+  std::string type_name() const override { return "cup.sink_value"; }
+  std::size_t byte_size() const override { return 16 + sink.count() * 4; }
+};
+
+}  // namespace scup::cup

@@ -1,0 +1,159 @@
+#include "cup/sink_discovery.hpp"
+
+#include "graph/disjoint_paths.hpp"
+
+namespace scup::cup {
+
+SinkDiscovery::SinkDiscovery(sim::ProtocolHost& host, NodeSet pd)
+    : host_(host),
+      pd_(std::move(pd)),
+      f_(host.fault_threshold()),
+      cert_graph_(pd_.universe_size()),
+      admitted_(pd_.universe_size()),
+      candidate_(pd_.universe_size()),
+      queried_(pd_.universe_size()),
+      responded_(pd_.universe_size()),
+      last_published_(pd_.universe_size()) {}
+
+void SinkDiscovery::start() {
+  merge_certificate(own_cert());
+  update();
+}
+
+bool SinkDiscovery::handle(ProcessId from, const sim::Message& msg) {
+  if (const auto* discover = dynamic_cast<const DiscoverMsg*>(&msg)) {
+    merge_certificate(discover->cert);
+    responded_.add(from);
+    // Reply with everything we hold (knowledge flows backward along the
+    // query; certificates are forwardable because they are signed).
+    host_.host_send(from, sim::make_message<CertGossipMsg>(certs_));
+    update();
+    return true;
+  }
+  if (const auto* gossip = dynamic_cast<const CertGossipMsg*>(&msg)) {
+    merge_certificates(gossip->certs);
+    responded_.add(from);
+    update();
+    return true;
+  }
+  if (const auto* known = dynamic_cast<const KnownMsg*>(&msg)) {
+    if (known->known.universe_size() == host_.universe()) {
+      latest_known_[from] = known->known;
+      responded_.add(from);
+      update();
+    }
+    return true;
+  }
+  return false;
+}
+
+void SinkDiscovery::merge_certificate(const PdCertificate& cert) {
+  if (cert.owner == kInvalidProcess || cert.owner >= host_.universe() ||
+      cert.pd.universe_size() != host_.universe()) {
+    return;  // malformed; ignore
+  }
+  auto [it, inserted] = certs_.emplace(cert.owner, cert.pd);
+  if (!inserted) {
+    // Union-merge: a Byzantine owner issuing conflicting certificates
+    // converges to the union at every correct receiver (deterministic).
+    const NodeSet merged = it->second | cert.pd;
+    if (merged == it->second) return;  // nothing new
+    it->second = merged;
+  }
+  for (ProcessId target : it->second) {
+    if (!cert_graph_.has_edge(cert.owner, target)) {
+      cert_graph_.add_edge(cert.owner, target);
+      graph_dirty_ = true;
+    }
+  }
+}
+
+void SinkDiscovery::merge_certificates(
+    const std::map<ProcessId, NodeSet>& certs) {
+  for (const auto& [owner, pd] : certs) {
+    merge_certificate({owner, pd});
+  }
+}
+
+void SinkDiscovery::update() {
+  if (finished_) return;
+  const ProcessId self = host_.self();
+
+  if (graph_dirty_ || candidate_.empty()) {
+    graph_dirty_ = false;
+
+    // Plain reachability bounds both the query set and the f-reachability
+    // candidates (f-reachable implies reachable).
+    const NodeSet reachable = cert_graph_.reachable_from(self);
+
+    // Query everything reachable — their certificates may be needed to
+    // certify disjoint paths — even nodes not (yet) admitted.
+    for (ProcessId j : reachable) {
+      if (j == self || queried_.contains(j)) continue;
+      queried_.add(j);
+      host_.host_send(j, sim::make_message<DiscoverMsg>(own_cert()));
+    }
+
+    // Candidate set: self, own PD (trusted oracle output), and every node
+    // f-reachable in the certified graph (Definition 9). Both the graph and
+    // the property are monotone, so previously admitted nodes stay.
+    for (ProcessId j : reachable) {
+      if (admitted_.contains(j) || j == self || pd_.contains(j)) continue;
+      if (graph::has_k_vertex_disjoint_paths(cert_graph_, self, j, f_ + 1,
+                                             reachable)) {
+        admitted_.add(j);
+      }
+    }
+    candidate_ = admitted_ | pd_;
+    candidate_.add(self);
+  }
+
+  maybe_publish_known();
+  check_match();
+}
+
+void SinkDiscovery::maybe_publish_known() {
+  // Step 2 stability: at most f candidates unresponsive.
+  NodeSet pending = candidate_;
+  pending.remove(host_.self());
+  pending -= responded_;
+  if (pending.count() > f_) return;
+
+  if (published_once_ && last_published_ == candidate_) return;
+  published_once_ = true;
+  last_published_ = candidate_;
+  const auto msg = sim::make_message<KnownMsg>(candidate_);
+  for (ProcessId j : candidate_) {
+    if (j != host_.self()) host_.host_send(j, msg);
+  }
+}
+
+void SinkDiscovery::check_match() {
+  if (finished_ || !published_once_) return;
+
+  // Step 3: count members of our candidate set whose latest KNOWN equals
+  // it (ourselves included) and processes that disagree. Outsider echoes
+  // are meaningless: the claim is that the candidate set is a
+  // self-contained sink, so only its members' views matter.
+  std::size_t matching = 1;  // self
+  std::size_t different = 0;
+  for (const auto& [sender, known] : latest_known_) {
+    if (known == candidate_) {
+      if (candidate_.contains(sender)) ++matching;
+    } else {
+      ++different;
+    }
+  }
+  if (different >= f_ + 1) probably_non_sink_ = true;
+
+  // The sink is guaranteed to hold >= 2f+1 correct members (Theorem 1's
+  // precondition), so smaller candidates can never be the sink; requiring
+  // it also rules out degenerate matches on tiny intermediate candidates.
+  if (candidate_.count() >= 2 * f_ + 1 &&
+      matching >= candidate_.count() - f_) {
+    finished_ = true;
+    if (on_complete) on_complete();
+  }
+}
+
+}  // namespace scup::cup

@@ -1,0 +1,94 @@
+// The SINK algorithm (direct sink discovery, Section VI step 1-3),
+// reconstructed from the paper's three-step description of the BFT-CUP
+// primitive of Alchieri et al.:
+//
+//  1. Knowledge expansion: starting from PD_i, process i queries every
+//     process it can reach in its *certified knowledge graph* (the union of
+//     PD certificates received so far) and merges the returned
+//     certificates. A process j is admitted into the candidate set iff
+//     j ∈ {i} ∪ PD_i (i's own oracle) or j is f-reachable from i in the
+//     certified graph (Definition 9: f+1 internally-vertex-disjoint paths).
+//     f-reachability is what makes expansion Byzantine-resilient: a
+//     fabricated node needs f+1 disjoint certified paths, and with at most
+//     f liars one of those paths is made of correct certificates only — so
+//     everything admitted is genuinely reachable through correct knowledge,
+//     while the safe Byzantine failure pattern ((f+1)-OSR residual)
+//     guarantees every real sink member is admitted.
+//  2. Once at most f candidates are unresponsive, i publishes
+//     KNOWN(candidate set) to the candidates (republished on change).
+//  3. If >= |V| - f members of V itself (self included) report KNOWN = V,
+//     where V is i's candidate set and |V| >= 2f+1, then i concludes it is
+//     a sink member and V is the sink (Lemma 6). Non-sink members' matching
+//     never succeeds (their candidate strictly contains the sink, whose
+//     members report differently); they rely on Algorithm 3's indirect
+//     path.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/node_set.hpp"
+#include "cup/messages.hpp"
+#include "graph/digraph.hpp"
+#include "sim/host.hpp"
+
+namespace scup::cup {
+
+class SinkDiscovery {
+ public:
+  /// `pd` is the output of this process's participant detector.
+  SinkDiscovery(sim::ProtocolHost& host, NodeSet pd);
+
+  /// Begins knowledge expansion (queries PD members).
+  void start();
+
+  /// Feeds a received message; returns true if it was a discovery-layer
+  /// message (consumed).
+  bool handle(ProcessId from, const sim::Message& msg);
+
+  /// True once step 3 succeeded (only sink members get here).
+  bool finished() const { return finished_; }
+  const NodeSet& sink() const { return candidate_; }
+
+  /// True once >= f+1 processes published KNOWN sets different from ours —
+  /// strong evidence of being a non-sink member (informational; the
+  /// indirect path provides the actual sink).
+  bool probably_non_sink() const { return probably_non_sink_; }
+
+  const NodeSet& candidate_set() const { return candidate_; }
+  const std::map<ProcessId, NodeSet>& certificates() const { return certs_; }
+  const graph::Digraph& certified_graph() const { return cert_graph_; }
+
+  /// Invoked exactly once when step 3 succeeds.
+  std::function<void()> on_complete;
+
+ private:
+  void merge_certificate(const PdCertificate& cert);
+  void merge_certificates(const std::map<ProcessId, NodeSet>& certs);
+  /// Recomputes the candidate set (f-reachability), queries newly reachable
+  /// nodes, and re-evaluates steps 2-3.
+  void update();
+  void maybe_publish_known();
+  void check_match();
+  PdCertificate own_cert() const { return {host_.self(), pd_}; }
+
+  sim::ProtocolHost& host_;
+  NodeSet pd_;
+  std::size_t f_;
+
+  std::map<ProcessId, NodeSet> certs_;  // owner -> claimed PD (union-merged)
+  graph::Digraph cert_graph_;           // the certified knowledge graph
+  bool graph_dirty_ = false;            // new edges since last update()
+
+  NodeSet admitted_;  // f-reachability is monotone; cache positives
+  NodeSet candidate_;
+  NodeSet queried_;
+  NodeSet responded_;
+  std::map<ProcessId, NodeSet> latest_known_;  // sender -> last KNOWN set
+  NodeSet last_published_;
+  bool published_once_ = false;
+  bool finished_ = false;
+  bool probably_non_sink_ = false;
+};
+
+}  // namespace scup::cup

@@ -1,0 +1,22 @@
+// The hand-built slice systems from the paper's worked examples.
+#pragma once
+
+#include "fbqs/quorum.hpp"
+
+namespace scup::fbqs {
+
+/// The Fig. 1 walkthrough (Section III-D): slices for correct processes
+/// 1..7 (our 0..6) with process 8 (our 7) faulty:
+///   S1={{2,5}} S2={{4}} S3={{5,7}} S4={{5,6},{6,8}}
+///   S5={{6,7}} S6={{5,7},{7,8}} S7={{5,6},{6,8}}
+/// The faulty process's slices are irrelevant; we give it an arbitrary one
+/// so that Algorithm 1 can evaluate sets containing it.
+FbqsSystem fig1_system();
+
+/// Theorem 2's counterexample slices on the Fig. 2 graph: every process i
+/// takes all subsets of PD_i of size |PD_i| - 1 (locally defined from PD_i
+/// and f alone). Yields the disjoint quorums {5,6,7} and {1,2,3,4}
+/// (paper ids).
+FbqsSystem fig2_local_system();
+
+}  // namespace scup::fbqs

@@ -1,0 +1,144 @@
+#include "fbqs/slices.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace scup::fbqs {
+
+namespace {
+std::size_t binomial_saturating(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::size_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::size_t num = n - k + i;
+    if (result > std::numeric_limits<std::size_t>::max() / num) {
+      return std::numeric_limits<std::size_t>::max();
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+}  // namespace
+
+SliceSet SliceSet::explicit_slices(std::vector<NodeSet> slices) {
+  for (const NodeSet& s : slices) {
+    if (s.empty()) {
+      throw std::invalid_argument("SliceSet: empty slice not allowed");
+    }
+  }
+  SliceSet set;
+  set.rep_ = std::move(slices);
+  return set;
+}
+
+SliceSet SliceSet::threshold(std::size_t m, NodeSet members) {
+  if (m == 0 || m > members.count()) {
+    throw std::invalid_argument(
+        "SliceSet::threshold: need 0 < m <= |members| (m=" +
+        std::to_string(m) + ", |members|=" + std::to_string(members.count()) +
+        ")");
+  }
+  SliceSet set;
+  set.rep_ = Threshold{m, std::move(members)};
+  return set;
+}
+
+bool SliceSet::is_threshold() const {
+  return std::holds_alternative<Threshold>(rep_);
+}
+
+bool SliceSet::satisfied_within(const NodeSet& q) const {
+  if (const auto* t = std::get_if<Threshold>(&rep_)) {
+    return q.intersection_count(t->members) >= t->m;
+  }
+  for (const NodeSet& s : std::get<std::vector<NodeSet>>(rep_)) {
+    if (s.subset_of(q)) return true;
+  }
+  return false;
+}
+
+bool SliceSet::blocked_by(const NodeSet& b) const {
+  if (const auto* t = std::get_if<Threshold>(&rep_)) {
+    // A slice avoiding b exists iff >= m members survive outside b.
+    return t->members.count() - t->members.intersection_count(b) < t->m;
+  }
+  const auto& slices = std::get<std::vector<NodeSet>>(rep_);
+  if (slices.empty()) return true;  // no slice avoids b, vacuously blocked
+  for (const NodeSet& s : slices) {
+    if (!s.intersects(b)) return false;
+  }
+  return true;
+}
+
+NodeSet SliceSet::union_of_members(std::size_t universe) const {
+  NodeSet u(universe);
+  if (const auto* t = std::get_if<Threshold>(&rep_)) {
+    u |= t->members;
+    return u;
+  }
+  for (const NodeSet& s : std::get<std::vector<NodeSet>>(rep_)) u |= s;
+  return u;
+}
+
+std::size_t SliceSet::slice_count() const {
+  if (const auto* t = std::get_if<Threshold>(&rep_)) {
+    return binomial_saturating(t->members.count(), t->m);
+  }
+  return std::get<std::vector<NodeSet>>(rep_).size();
+}
+
+const std::vector<NodeSet>& SliceSet::explicit_list() const {
+  if (is_threshold()) {
+    throw std::logic_error("SliceSet::explicit_list on threshold family");
+  }
+  return std::get<std::vector<NodeSet>>(rep_);
+}
+
+std::size_t SliceSet::threshold_m() const {
+  if (!is_threshold()) {
+    throw std::logic_error("SliceSet::threshold_m on explicit family");
+  }
+  return std::get<Threshold>(rep_).m;
+}
+
+const NodeSet& SliceSet::threshold_members() const {
+  if (!is_threshold()) {
+    throw std::logic_error("SliceSet::threshold_members on explicit family");
+  }
+  return std::get<Threshold>(rep_).members;
+}
+
+QSet SliceSet::to_qset() const {
+  if (const auto* t = std::get_if<Threshold>(&rep_)) {
+    return QSet::threshold_of(t->m, t->members);
+  }
+  const auto& slices = std::get<std::vector<NodeSet>>(rep_);
+  std::vector<QSet> inner;
+  inner.reserve(slices.size());
+  for (const NodeSet& s : slices) {
+    inner.push_back(QSet::threshold_of(s.count(), s));
+  }
+  const std::size_t threshold = inner.empty() ? 0 : 1;
+  return QSet(threshold, {}, std::move(inner));
+}
+
+std::string SliceSet::to_string() const {
+  std::ostringstream os;
+  if (const auto* t = std::get_if<Threshold>(&rep_)) {
+    os << "all " << t->m << "-subsets of " << t->members;
+    return os.str();
+  }
+  os << '[';
+  bool first = true;
+  for (const NodeSet& s : std::get<std::vector<NodeSet>>(rep_)) {
+    if (!first) os << ", ";
+    first = false;
+    os << s;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace scup::fbqs

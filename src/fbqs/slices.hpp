@@ -1,0 +1,68 @@
+// Slice families (S_i in the paper): either an explicit list of slices or a
+// threshold family "all m-subsets of V" (which Algorithm 2 produces).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/node_set.hpp"
+#include "fbqs/qset.hpp"
+
+namespace scup::fbqs {
+
+class SliceSet {
+ public:
+  SliceSet() = default;
+
+  /// Explicit family. Empty slices are rejected; an empty family means the
+  /// process can never be part of any quorum.
+  static SliceSet explicit_slices(std::vector<NodeSet> slices);
+
+  /// Threshold family: all subsets of `members` with size exactly `m`.
+  /// Requires 0 < m <= |members|.
+  static SliceSet threshold(std::size_t m, NodeSet members);
+
+  bool is_threshold() const;
+
+  /// "∃ S ∈ S_i : S ⊆ q" — the per-process test inside Algorithm 1.
+  bool satisfied_within(const NodeSet& q) const;
+
+  /// True iff every slice intersects `b` (v-blocking set).
+  bool blocked_by(const NodeSet& b) const;
+
+  /// True iff some slice avoids `b` entirely (Lemma 2's requirement with b =
+  /// a candidate faulty set). Equivalent to !blocked_by(b).
+  bool has_slice_avoiding(const NodeSet& b) const { return !blocked_by(b); }
+
+  /// Union of all processes appearing in any slice (Π_i in the paper).
+  NodeSet union_of_members(std::size_t universe) const;
+
+  /// Number of slices in the family (binomial for threshold families;
+  /// saturates at SIZE_MAX on overflow).
+  std::size_t slice_count() const;
+
+  /// Explicit slices; only valid for explicit families.
+  const std::vector<NodeSet>& explicit_list() const;
+
+  /// Threshold parameters; only valid for threshold families.
+  std::size_t threshold_m() const;
+  const NodeSet& threshold_members() const;
+
+  /// Equivalent QSet representation (threshold families map directly; an
+  /// explicit family becomes a 1-of-[inner...] QSet with one inner
+  /// |S|-of-S set per slice).
+  QSet to_qset() const;
+
+  std::string to_string() const;
+
+ private:
+  struct Threshold {
+    std::size_t m = 0;
+    NodeSet members;
+  };
+  std::variant<std::vector<NodeSet>, Threshold> rep_;
+};
+
+}  // namespace scup::fbqs

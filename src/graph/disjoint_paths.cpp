@@ -1,0 +1,156 @@
+#include "graph/disjoint_paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace scup::graph {
+
+namespace {
+
+/// Dinic max-flow on a unit-capacity network built with vertex splitting.
+/// Node 2w = w_in, 2w+1 = w_out. Edge w_in->w_out has capacity 1 (or "inf"
+/// for the endpoints), original edge (u, v) becomes u_out -> v_in with
+/// capacity 1.
+class UnitFlow {
+ public:
+  explicit UnitFlow(std::size_t node_count) : head_(node_count, -1) {}
+
+  void add_edge(int u, int v, int cap) {
+    edges_.push_back({v, head_[u], cap});
+    head_[u] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({u, head_[v], 0});
+    head_[v] = static_cast<int>(edges_.size()) - 1;
+  }
+
+  /// Computes max-flow from s to t, stopping early once flow >= limit.
+  std::size_t max_flow(int s, int t, std::size_t limit) {
+    std::size_t flow = 0;
+    while (flow < limit && bfs(s, t)) {
+      iter_ = head_;
+      while (flow < limit) {
+        const int pushed = dfs(s, t, std::numeric_limits<int>::max());
+        if (pushed == 0) break;
+        flow += static_cast<std::size_t>(pushed);
+      }
+    }
+    return flow;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int next;
+    int cap;
+  };
+
+  bool bfs(int s, int t) {
+    level_.assign(head_.size(), -1);
+    std::queue<int> q;
+    level_[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap > 0 && level_[edges_[e].to] == -1) {
+          level_[edges_[e].to] = level_[u] + 1;
+          q.push(edges_[e].to);
+        }
+      }
+    }
+    return level_[t] != -1;
+  }
+
+  int dfs(int u, int t, int pushed) {
+    if (u == t) return pushed;
+    for (int& e = iter_[u]; e != -1; e = edges_[e].next) {
+      Edge& edge = edges_[e];
+      if (edge.cap > 0 && level_[edge.to] == level_[u] + 1) {
+        const int got = dfs(edge.to, t, std::min(pushed, edge.cap));
+        if (got > 0) {
+          edge.cap -= got;
+          edges_[e ^ 1].cap += got;
+          return got;
+        }
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+std::size_t disjoint_paths_impl(const Digraph& g, ProcessId u, ProcessId v,
+                                std::size_t limit, const NodeSet& active) {
+  if (u == v) {
+    throw std::invalid_argument("disjoint paths: endpoints must differ");
+  }
+  if (u >= g.node_count() || v >= g.node_count()) {
+    throw std::out_of_range("disjoint paths: node out of range");
+  }
+  if (!active.contains(u) || !active.contains(v)) return 0;
+
+  const std::size_t n = g.node_count();
+  const int big = static_cast<int>(n) + 1;
+  UnitFlow flow(2 * n);
+  for (ProcessId w : active) {
+    const int cap = (w == u || w == v) ? big : 1;
+    flow.add_edge(static_cast<int>(2 * w), static_cast<int>(2 * w + 1), cap);
+    for (ProcessId x : g.successors(w)) {
+      if (active.contains(x)) {
+        flow.add_edge(static_cast<int>(2 * w + 1), static_cast<int>(2 * x), 1);
+      }
+    }
+  }
+  return flow.max_flow(static_cast<int>(2 * u + 1), static_cast<int>(2 * v),
+                       limit);
+}
+
+}  // namespace
+
+std::size_t max_vertex_disjoint_paths(const Digraph& g, ProcessId u,
+                                      ProcessId v, const NodeSet& active) {
+  return disjoint_paths_impl(g, u, v, g.node_count() + 1, active);
+}
+
+std::size_t max_vertex_disjoint_paths(const Digraph& g, ProcessId u,
+                                      ProcessId v) {
+  return max_vertex_disjoint_paths(g, u, v, NodeSet::full(g.node_count()));
+}
+
+bool has_k_vertex_disjoint_paths(const Digraph& g, ProcessId u, ProcessId v,
+                                 std::size_t k, const NodeSet& active) {
+  if (k == 0) return true;
+  return disjoint_paths_impl(g, u, v, k, active) >= k;
+}
+
+bool is_k_strongly_connected(const Digraph& g, std::size_t k,
+                             const NodeSet& active) {
+  const auto nodes = active.to_vector();
+  if (nodes.size() <= 1) return true;
+  for (ProcessId u : nodes) {
+    for (ProcessId v : nodes) {
+      if (u == v) continue;
+      if (!has_k_vertex_disjoint_paths(g, u, v, k, active)) return false;
+    }
+  }
+  return true;
+}
+
+bool is_k_strongly_connected(const Digraph& g, std::size_t k) {
+  return is_k_strongly_connected(g, k, NodeSet::full(g.node_count()));
+}
+
+bool is_f_reachable(const Digraph& g, ProcessId i, ProcessId j, std::size_t f,
+                    const NodeSet& correct) {
+  if (i == j) return true;
+  return has_k_vertex_disjoint_paths(g, i, j, f + 1, correct);
+}
+
+}  // namespace scup::graph

@@ -1,0 +1,45 @@
+// Vertex-disjoint path counting via max-flow (Menger's theorem).
+//
+// k-OSR (Definition 6) and f-reachability (Definition 9) are both stated in
+// terms of node-disjoint paths. We count internally-vertex-disjoint paths
+// from u to v with the standard vertex-splitting reduction (each vertex w
+// becomes w_in -> w_out with capacity 1, except the endpoints) and Dinic's
+// algorithm on unit-capacity networks.
+#pragma once
+
+#include <cstddef>
+
+#include "common/node_set.hpp"
+#include "graph/digraph.hpp"
+
+namespace scup::graph {
+
+/// Maximum number of internally-vertex-disjoint directed paths from u to v
+/// in g restricted to `active` nodes. Returns 0 if u or v is inactive or
+/// u == v has no meaning (returns a large value for u == v by convention? no:
+/// throws). If edge u->v exists it counts as one path.
+std::size_t max_vertex_disjoint_paths(const Digraph& g, ProcessId u,
+                                      ProcessId v, const NodeSet& active);
+std::size_t max_vertex_disjoint_paths(const Digraph& g, ProcessId u,
+                                      ProcessId v);
+
+/// True iff there are at least k internally-vertex-disjoint paths from u to
+/// v. Early-exits once k augmenting paths are found, so it is cheaper than
+/// computing the exact maximum when only the threshold matters.
+bool has_k_vertex_disjoint_paths(const Digraph& g, ProcessId u, ProcessId v,
+                                 std::size_t k, const NodeSet& active);
+
+/// True iff g restricted to `active` is k-strongly connected: every ordered
+/// pair of distinct active nodes is joined by >= k vertex-disjoint paths
+/// (footnote 1 of the paper).
+bool is_k_strongly_connected(const Digraph& g, std::size_t k,
+                             const NodeSet& active);
+bool is_k_strongly_connected(const Digraph& g, std::size_t k);
+
+/// f-reachability (Definition 9): j is f-reachable from i if there are at
+/// least f+1 vertex-disjoint paths from i to j consisting only of correct
+/// processes (i.e. in the subgraph induced by `correct`).
+bool is_f_reachable(const Digraph& g, ProcessId i, ProcessId j, std::size_t f,
+                    const NodeSet& correct);
+
+}  // namespace scup::graph

@@ -1,0 +1,126 @@
+#include "graph/generators.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/kosr.hpp"
+#include "graph/scc.hpp"
+
+namespace scup::graph {
+
+namespace {
+/// Adds edges from the paper's 1-based PD lists.
+void add_pd(Digraph& g, ProcessId paper_id,
+            std::initializer_list<ProcessId> paper_pd) {
+  for (ProcessId target : paper_pd) g.add_edge(paper_id - 1, target - 1);
+}
+}  // namespace
+
+Digraph fig1_graph() {
+  Digraph g(8);
+  add_pd(g, 1, {2, 5});
+  add_pd(g, 2, {4});
+  add_pd(g, 3, {5, 7});
+  add_pd(g, 4, {5, 6, 8});
+  add_pd(g, 5, {6, 7});
+  add_pd(g, 6, {5, 7, 8});
+  add_pd(g, 7, {5, 6, 8});
+  add_pd(g, 8, {6, 7});
+  return g;
+}
+
+NodeSet fig1_sink() { return NodeSet(8, {4, 5, 6, 7}); }
+
+NodeSet fig1_faulty() { return NodeSet(8, {7}); }
+
+Digraph fig2_graph() {
+  Digraph g(7);
+  add_pd(g, 1, {2, 3, 4});
+  add_pd(g, 2, {1, 3, 4});
+  add_pd(g, 3, {1, 2, 4});
+  add_pd(g, 4, {1, 2, 3});
+  add_pd(g, 5, {1, 6, 7});
+  add_pd(g, 6, {4, 5, 7});
+  add_pd(g, 7, {3, 5, 6});
+  return g;
+}
+
+NodeSet fig2_sink() { return NodeSet(7, {0, 1, 2, 3}); }
+
+Digraph random_kosr_graph(const KosrGenParams& params) {
+  const std::size_t s = params.sink_size;
+  const std::size_t n = s + params.non_sink_size;
+  if (s == 0) throw std::invalid_argument("random_kosr_graph: empty sink");
+  if (params.k >= s) {
+    throw std::invalid_argument(
+        "random_kosr_graph: need k < sink_size (circulant construction)");
+  }
+  Rng rng(params.seed);
+  Digraph g(n);
+
+  // Sink: circulant C_s(1..k).
+  for (ProcessId i = 0; i < s; ++i) {
+    for (std::size_t jump = 1; jump <= params.k; ++jump) {
+      g.add_edge(i, static_cast<ProcessId>((i + jump) % s));
+    }
+  }
+  // Extra random intra-sink edges.
+  for (ProcessId i = 0; i < s; ++i) {
+    for (ProcessId j = 0; j < s; ++j) {
+      if (i != j && rng.chance(params.extra_edge_prob)) g.add_edge(i, j);
+    }
+  }
+
+  // Non-sink nodes: k distinct edges into the sink each.
+  for (ProcessId u = static_cast<ProcessId>(s); u < n; ++u) {
+    for (ProcessId t : rng.sample_ids(s, params.k)) g.add_edge(u, t);
+    // Random extra edges to any node except edges from sink to non-sink
+    // (which would destroy the sink property).
+    for (ProcessId v = 0; v < n; ++v) {
+      if (v != u && rng.chance(params.extra_edge_prob)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+NodeSet pick_safe_faulty_set(const Digraph& g, const NodeSet& sink,
+                             std::size_t f, bool allow_in_sink, Rng& rng) {
+  const std::size_t n = g.node_count();
+  NodeSet faulty(n);
+  if (f == 0) return faulty;
+
+  // Try random placements until one satisfies the safety conditions. The
+  // generator's structure makes success overwhelmingly likely for
+  // k >= 2f+1, so a bounded number of attempts suffices.
+  constexpr int kAttempts = 256;
+  std::vector<ProcessId> pool;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (allow_in_sink || !sink.contains(p)) pool.push_back(p);
+  }
+  if (pool.size() < f) {
+    throw std::invalid_argument("pick_safe_faulty_set: not enough candidates");
+  }
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    rng.shuffle(pool);
+    NodeSet candidate(n);
+    for (std::size_t i = 0; i < f; ++i) candidate.add(pool[i]);
+    if (satisfies_bft_cup_preconditions(g, candidate, f)) return candidate;
+  }
+  throw std::runtime_error(
+      "pick_safe_faulty_set: no safe failure placement found; graph "
+      "parameters too tight for f=" +
+      std::to_string(f));
+}
+
+Digraph random_digraph(std::size_t n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g(n);
+  for (ProcessId u = 0; u < n; ++u) {
+    for (ProcessId v = 0; v < n; ++v) {
+      if (u != v && rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace scup::graph

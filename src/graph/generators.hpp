@@ -1,0 +1,62 @@
+// Knowledge-connectivity-graph builders: the paper's Fig. 1 and Fig. 2
+// examples plus random k-OSR families used by property tests and benches.
+//
+// Convention: the paper numbers processes 1..n; we use 0-based ids, so
+// "paper process i" is our process i-1 throughout the codebase.
+#pragma once
+
+#include <cstdint>
+
+#include "common/node_set.hpp"
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+
+namespace scup::graph {
+
+/// Fig. 1 of the paper: 8 processes, sink component {5,6,7,8} (paper ids) =
+/// {4,5,6,7} (our ids).
+///   PD1={2,5} PD2={4} PD3={5,7} PD4={5,6,8}
+///   PD5={6,7} PD6={5,7,8} PD7={5,6,8} PD8={6,7}
+Digraph fig1_graph();
+NodeSet fig1_sink();
+/// The failure set used in the Fig. 1 walkthrough: paper process 8 (our 7).
+NodeSet fig1_faulty();
+
+/// Fig. 2 of the paper: 7 processes, 3-OSR, sink {1,2,3,4} (paper ids) =
+/// {0,1,2,3} (our ids). Used as the Theorem 2 counterexample with f = 1.
+///   PD1={2,3,4} PD2={1,3,4} PD3={1,2,4} PD4={1,2,3}
+///   PD5={1,6,7} PD6={4,5,7} PD7={3,5,6}
+Digraph fig2_graph();
+NodeSet fig2_sink();
+
+struct KosrGenParams {
+  std::size_t sink_size = 4;      // |V_sink|
+  std::size_t non_sink_size = 4;  // number of non-sink processes
+  std::size_t k = 2;              // target connectivity parameter
+  double extra_edge_prob = 0.1;   // density of additional random edges
+  std::uint64_t seed = 1;
+};
+
+/// Generates a k-OSR knowledge connectivity graph by construction:
+///  - sink = circulant digraph C_s(1..k) on ids [0, sink_size): node i has
+///    edges to i+1, ..., i+k (mod s), which is k-strongly connected;
+///  - every non-sink node gets edges to k distinct random sink members
+///    (giving k node-disjoint paths to the whole sink via the fan property)
+///    plus random extra edges to other non-sink nodes and the sink.
+/// Sink member ids are [0, sink_size); non-sink ids are the rest.
+/// The construction is verified by tests against check_kosr.
+Digraph random_kosr_graph(const KosrGenParams& params);
+
+/// Picks a faulty set of size exactly f such that the generated graph stays
+/// Byzantine-safe (Definition 7) and its sink keeps >= 2f+1 correct members.
+/// Requires a graph from random_kosr_graph with k >= 2f+1 and
+/// sink_size >= 3f+1 (so that removing f sink members is tolerated).
+/// `allow_in_sink` controls whether faults may be placed inside the sink.
+NodeSet pick_safe_faulty_set(const Digraph& g, const NodeSet& sink,
+                             std::size_t f, bool allow_in_sink, Rng& rng);
+
+/// Erdos-Renyi style random digraph (every ordered pair independently with
+/// probability p); used for generic graph-algorithm tests and benches.
+Digraph random_digraph(std::size_t n, double p, std::uint64_t seed);
+
+}  // namespace scup::graph

@@ -1,0 +1,137 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace scup::graph {
+
+SccResult strongly_connected_components(const Digraph& g,
+                                        const NodeSet& active) {
+  const std::size_t n = g.node_count();
+  SccResult result;
+  result.comp_of.assign(n, -1);
+
+  // Iterative Tarjan.
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<ProcessId> stack;
+  int next_index = 0;
+
+  struct Frame {
+    ProcessId v;
+    std::size_t child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (ProcessId root = 0; root < n; ++root) {
+    if (!active.contains(root) || index[root] != -1) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const ProcessId v = frame.v;
+      const auto& succ = g.successors(v);
+      bool descended = false;
+      while (frame.child < succ.size()) {
+        const ProcessId w = succ[frame.child++];
+        if (!active.contains(w)) continue;
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+
+      if (lowlink[v] == index[v]) {
+        NodeSet comp(n);
+        const int comp_id = static_cast<int>(result.components.size());
+        while (true) {
+          const ProcessId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp.add(w);
+          result.comp_of[w] = comp_id;
+          if (w == v) break;
+        }
+        result.components.push_back(std::move(comp));
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        Frame& parent = call_stack.back();
+        lowlink[parent.v] = std::min(lowlink[parent.v], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  return strongly_connected_components(g, NodeSet::full(g.node_count()));
+}
+
+Condensation condense(const Digraph& g, const NodeSet& active) {
+  Condensation c;
+  c.scc = strongly_connected_components(g, active);
+  const int k = c.scc.component_count();
+  c.dag_successors.assign(k, {});
+  std::vector<bool> has_out(k, false);
+
+  for (ProcessId u = 0; u < g.node_count(); ++u) {
+    if (!active.contains(u)) continue;
+    const int cu = c.scc.comp_of[u];
+    for (ProcessId v : g.successors(u)) {
+      if (!active.contains(v)) continue;
+      const int cv = c.scc.comp_of[v];
+      if (cu == cv) continue;
+      auto& succ = c.dag_successors[cu];
+      if (std::find(succ.begin(), succ.end(), cv) == succ.end()) {
+        succ.push_back(cv);
+      }
+      has_out[cu] = true;
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    if (!has_out[i]) c.sink_components.push_back(i);
+  }
+  return c;
+}
+
+Condensation condense(const Digraph& g) {
+  return condense(g, NodeSet::full(g.node_count()));
+}
+
+NodeSet Condensation::sink_members(std::size_t universe) const {
+  NodeSet s(universe);
+  for (int comp : sink_components) s |= scc.components[comp];
+  return s;
+}
+
+bool is_weakly_connected(const Digraph& g, const NodeSet& active) {
+  const ProcessId start = active.min_member();
+  if (start == kInvalidProcess) return true;  // vacuously connected
+  const Digraph u = g.undirected_closure();
+  const NodeSet reach = u.reachable_from(start, active);
+  return reach == active;
+}
+
+NodeSet unique_sink_component(const Digraph& g, const NodeSet& active) {
+  const Condensation c = condense(g, active);
+  if (c.sink_components.size() != 1) return NodeSet(g.node_count());
+  return c.scc.components[c.sink_components[0]];
+}
+
+NodeSet unique_sink_component(const Digraph& g) {
+  return unique_sink_component(g, NodeSet::full(g.node_count()));
+}
+
+}  // namespace scup::graph

@@ -1,0 +1,52 @@
+// Strongly connected components (Tarjan, iterative) and the condensation
+// DAG. These are the building blocks of the k-OSR property (Definition 6):
+// the condensation of the knowledge connectivity graph must have exactly one
+// sink component.
+#pragma once
+
+#include <vector>
+
+#include "common/node_set.hpp"
+#include "graph/digraph.hpp"
+
+namespace scup::graph {
+
+struct SccResult {
+  /// comp_of[v] = index of v's component, or -1 for inactive nodes.
+  std::vector<int> comp_of;
+  /// Member sets, indexed by component id.
+  std::vector<NodeSet> components;
+
+  int component_count() const { return static_cast<int>(components.size()); }
+};
+
+/// Tarjan's algorithm restricted to `active` nodes.
+SccResult strongly_connected_components(const Digraph& g, const NodeSet& active);
+SccResult strongly_connected_components(const Digraph& g);
+
+struct Condensation {
+  SccResult scc;
+  /// DAG on component ids: edge (a, b) iff some u in component a has an edge
+  /// to some v in component b (a != b).
+  std::vector<std::vector<int>> dag_successors;
+  /// Component ids with no outgoing DAG edges.
+  std::vector<int> sink_components;
+
+  /// Union of member sets of all sink components.
+  NodeSet sink_members(std::size_t universe) const;
+};
+
+Condensation condense(const Digraph& g, const NodeSet& active);
+Condensation condense(const Digraph& g);
+
+/// True iff the undirected graph obtained from g (restricted to `active`) is
+/// connected (property 1 of Definition 6).
+bool is_weakly_connected(const Digraph& g, const NodeSet& active);
+
+/// The unique sink component of g restricted to `active`, if there is
+/// exactly one; otherwise an empty set. (Definition: a component with no
+/// path to any node outside itself.)
+NodeSet unique_sink_component(const Digraph& g, const NodeSet& active);
+NodeSet unique_sink_component(const Digraph& g);
+
+}  // namespace scup::graph

@@ -1,0 +1,39 @@
+// SCP ballots: a ballot is a pair (n, x) of counter and value, totally
+// ordered lexicographically; two ballots are compatible when they carry the
+// same value.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace scup::scp {
+
+struct Ballot {
+  std::uint32_t n = 0;  // counter; 0 means "no ballot"
+  Value x = kNoValue;
+
+  bool valid() const { return n > 0; }
+
+  friend bool operator==(const Ballot&, const Ballot&) = default;
+  friend std::strong_ordering operator<=>(const Ballot& a, const Ballot& b) {
+    if (auto c = a.n <=> b.n; c != 0) return c;
+    return a.x <=> b.x;
+  }
+
+  std::string to_string() const {
+    if (!valid()) return "<0>";
+    return "<" + std::to_string(n) + "," + std::to_string(x) + ">";
+  }
+};
+
+inline bool compatible(const Ballot& a, const Ballot& b) { return a.x == b.x; }
+
+/// b "covers" β for prepared purposes: β ≤ b with the same value.
+inline bool le_compatible(const Ballot& beta, const Ballot& b) {
+  return b.valid() && beta.valid() && beta.x == b.x && beta.n <= b.n;
+}
+
+}  // namespace scup::scp

@@ -1,0 +1,117 @@
+#include "scp/envelope.hpp"
+
+namespace scup::scp {
+
+namespace {
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+}  // namespace
+
+bool votes_prepare(const Statement& s, const Ballot& beta) {
+  if (!beta.valid()) return false;
+  return std::visit(
+      Overloaded{
+          [](const NominateStmt&) { return false; },
+          [&](const PrepareStmt& p) {
+            // Votes prepare(b); that covers lower compatible ballots.
+            return le_compatible(beta, p.b);
+          },
+          [&](const ConfirmStmt& c) {
+            // Past preparing: votes prepare((∞, b.x)).
+            return compatible(beta, c.b);
+          },
+          [&](const ExternalizeStmt& e) { return compatible(beta, e.commit); },
+      },
+      s);
+}
+
+bool accepts_prepared(const Statement& s, const Ballot& beta) {
+  if (!beta.valid()) return false;
+  return std::visit(
+      Overloaded{
+          [](const NominateStmt&) { return false; },
+          [&](const PrepareStmt& p) {
+            return le_compatible(beta, p.p) || le_compatible(beta, p.p_prime);
+          },
+          [&](const ConfirmStmt& c) {
+            // Accepted prepared up to (max(p_n, h_n), b.x).
+            const std::uint32_t top = c.p_n > c.h_n ? c.p_n : c.h_n;
+            return compatible(beta, c.b) && beta.n <= top;
+          },
+          [&](const ExternalizeStmt& e) {
+            // Confirmed commit implies prepared((∞, x)).
+            return compatible(beta, e.commit);
+          },
+      },
+      s);
+}
+
+bool votes_commit(const Statement& s, std::uint32_t n, Value x) {
+  if (n == 0) return false;
+  return std::visit(
+      Overloaded{
+          [](const NominateStmt&) { return false; },
+          [&](const PrepareStmt& p) {
+            return p.b.x == x && p.c_n != 0 && p.c_n <= n && n <= p.h_n;
+          },
+          [&](const ConfirmStmt& c) {
+            // Votes commit(n, x) for every n >= c_n.
+            return c.b.x == x && c.c_n != 0 && c.c_n <= n;
+          },
+          [&](const ExternalizeStmt& e) {
+            return e.commit.x == x && e.commit.n <= n;
+          },
+      },
+      s);
+}
+
+bool accepts_commit(const Statement& s, std::uint32_t n, Value x) {
+  if (n == 0) return false;
+  return std::visit(
+      Overloaded{
+          [](const NominateStmt&) { return false; },
+          [](const PrepareStmt&) { return false; },
+          [&](const ConfirmStmt& c) {
+            return c.b.x == x && c.c_n != 0 && c.c_n <= n && n <= c.h_n;
+          },
+          [&](const ExternalizeStmt& e) {
+            return e.commit.x == x && e.commit.n <= n;
+          },
+      },
+      s);
+}
+
+bool votes_nominate(const Statement& s, Value v) {
+  if (const auto* nom = std::get_if<NominateStmt>(&s)) {
+    return nom->voted.count(v) > 0 || nom->accepted.count(v) > 0;
+  }
+  return false;
+}
+
+bool accepts_nominate(const Statement& s, Value v) {
+  if (const auto* nom = std::get_if<NominateStmt>(&s)) {
+    return nom->accepted.count(v) > 0;
+  }
+  return false;
+}
+
+bool is_ballot_statement(const Statement& s) {
+  return !std::holds_alternative<NominateStmt>(s);
+}
+
+Ballot working_ballot(const Statement& s) {
+  return std::visit(
+      Overloaded{
+          [](const NominateStmt&) { return Ballot{}; },
+          [](const PrepareStmt& p) { return p.b; },
+          [](const ConfirmStmt& c) { return c.b; },
+          [](const ExternalizeStmt& e) { return e.commit; },
+      },
+      s);
+}
+
+}  // namespace scup::scp

@@ -1,0 +1,112 @@
+// SCP statements and envelopes.
+//
+// Every envelope carries the sender's quorum set (the paper: "each process i
+// attaches S_i to all of the messages it sends"), so receivers can evaluate
+// Algorithm-1 quorum checks over any set of received statements.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <variant>
+
+#include "fbqs/qset.hpp"
+#include "scp/ballot.hpp"
+#include "sim/message.hpp"
+
+namespace scup::scp {
+
+/// Nomination: x ∈ voted means "I vote to nominate x"; x ∈ accepted means
+/// "I accept that x is nominated".
+struct NominateStmt {
+  std::set<Value> voted;
+  std::set<Value> accepted;
+};
+
+/// PREPARE(b, p, p', c.n, h.n): votes prepare(b); has accepted prepare(p)
+/// and prepare(p'); votes commit(n, b.x) for c_n <= n <= h_n (when c_n > 0).
+struct PrepareStmt {
+  Ballot b;
+  Ballot p;
+  Ballot p_prime;
+  std::uint32_t c_n = 0;
+  std::uint32_t h_n = 0;
+};
+
+/// CONFIRM(b, p.n, c.n, h.n): has accepted commit(n, b.x) for
+/// c_n <= n <= h_n; has accepted prepare((p_n, b.x)); votes commit(n, b.x)
+/// for all n >= c_n; votes prepare((∞, b.x)).
+struct ConfirmStmt {
+  Ballot b;
+  std::uint32_t p_n = 0;
+  std::uint32_t c_n = 0;
+  std::uint32_t h_n = 0;
+};
+
+/// EXTERNALIZE(commit, h.n): has confirmed commit(n, commit.x) for
+/// commit.n <= n <= h_n; accepts everything implied.
+struct ExternalizeStmt {
+  Ballot commit;
+  std::uint32_t h_n = 0;
+};
+
+using Statement =
+    std::variant<NominateStmt, PrepareStmt, ConfirmStmt, ExternalizeStmt>;
+
+struct Envelope final : sim::Message {
+  Envelope(ProcessId sender_, std::uint64_t seq_, fbqs::QSet qset_,
+           Statement statement_)
+      : sender(sender_),
+        seq(seq_),
+        qset(std::move(qset_)),
+        statement(std::move(statement_)) {}
+
+  ProcessId sender;
+  /// Monotonic per-sender sequence number; receivers keep the highest.
+  std::uint64_t seq;
+  fbqs::QSet qset;
+  Statement statement;
+
+  std::string type_name() const override {
+    switch (statement.index()) {
+      case 0: return "scp.nominate";
+      case 1: return "scp.prepare";
+      case 2: return "scp.confirm";
+      default: return "scp.externalize";
+    }
+  }
+  std::size_t byte_size() const override {
+    std::size_t base = 48 + qset.validators().size() * 4;
+    if (const auto* nom = std::get_if<NominateStmt>(&statement)) {
+      base += (nom->voted.size() + nom->accepted.size()) * 8;
+    }
+    return base;
+  }
+};
+
+// ---- Statement semantics (what a statement implies its sender votes for /
+// has accepted), following the SCP whitepaper's message meanings. ----
+
+/// Sender votes prepare(β) (or something stronger).
+bool votes_prepare(const Statement& s, const Ballot& beta);
+
+/// Sender has accepted prepare(β).
+bool accepts_prepared(const Statement& s, const Ballot& beta);
+
+/// Sender votes commit(n, x) (or something stronger).
+bool votes_commit(const Statement& s, std::uint32_t n, Value x);
+
+/// Sender has accepted commit(n, x).
+bool accepts_commit(const Statement& s, std::uint32_t n, Value x);
+
+/// Nomination: sender votes-or-accepts nominate(v) / has accepted it.
+bool votes_nominate(const Statement& s, Value v);
+bool accepts_nominate(const Statement& s, Value v);
+
+/// True if the statement belongs to the ballot protocol (not nomination).
+bool is_ballot_statement(const Statement& s);
+
+/// The working ballot of a ballot-protocol statement (b for PREPARE/CONFIRM,
+/// commit for EXTERNALIZE); invalid ballot for nomination.
+Ballot working_ballot(const Statement& s);
+
+}  // namespace scup::scp

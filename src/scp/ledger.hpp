@@ -1,0 +1,122 @@
+// Multi-slot SCP: a ledger of consecutive consensus instances.
+//
+// The paper analyzes a single consensus instance ("Our analysis is for a
+// single instance of consensus", Section III-A); a blockchain closes one
+// instance per ledger slot. LedgerMultiplexer runs a chain of independent
+// ScpNode instances, one per slot:
+//  - outgoing envelopes are wrapped in SlotEnvelope{slot, envelope};
+//  - each slot gets its own timer id (kLedgerTimerBase + slot);
+//  - slot k starts when slot k-1 externalizes (value from a caller-supplied
+//    provider, e.g. the next transaction batch);
+//  - envelopes for not-yet-started slots are buffered by the slot's ScpNode
+//    (lazily created), so fast peers cannot outrun slow ones.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "scp/scp_node.hpp"
+
+namespace scup::scp {
+
+inline constexpr int kLedgerTimerBase = 10'000;
+
+struct SlotEnvelope final : sim::Message {
+  SlotEnvelope(std::uint64_t s, Envelope e) : slot(s), envelope(std::move(e)) {}
+  std::uint64_t slot;
+  Envelope envelope;
+  std::string type_name() const override {
+    return "scp.slot." + envelope.type_name().substr(4);
+  }
+  std::size_t byte_size() const override { return 8 + envelope.byte_size(); }
+};
+
+class LedgerMultiplexer {
+ public:
+  /// `target_slots` — stop opening new slots after this many decisions
+  /// (0 = unbounded).
+  LedgerMultiplexer(sim::ProtocolHost& host, std::size_t universe,
+                    fbqs::QSet qset, std::size_t target_slots,
+                    ScpConfig scp_config = {});
+
+  /// Supplies the proposal for each slot (must be non-zero). Required
+  /// before start().
+  std::function<Value(std::uint64_t slot)> value_provider;
+
+  /// Fired once per decided slot, in slot order.
+  std::function<void(std::uint64_t slot, Value value)> on_slot_decided;
+
+  void set_qset(fbqs::QSet qset);
+  void add_peer(ProcessId peer);
+
+  /// Starts slot 1.
+  void start();
+  bool started() const { return started_; }
+
+  bool handle(ProcessId from, const sim::Message& msg);
+
+  /// Routes ledger timer ids; returns true if the id belonged to a slot.
+  bool on_timer(int timer_id);
+
+  /// Number of consecutively decided slots (1..k all externalized).
+  std::uint64_t decided_slots() const;
+  bool slot_decided(std::uint64_t slot) const;
+  Value slot_decision(std::uint64_t slot) const;
+
+  /// Running hash of decisions 1..decided_slots(), for chain-equality
+  /// checks across replicas.
+  std::uint64_t chain_digest() const;
+
+  /// Introspection for tests: the ScpNode of a slot, or nullptr.
+  const ScpNode* slot_node(std::uint64_t slot) const;
+
+ private:
+  /// Per-slot host shim: namespaces messages and timers by slot.
+  class SlotHost final : public sim::ProtocolHost {
+   public:
+    SlotHost(LedgerMultiplexer& mux, std::uint64_t slot)
+        : mux_(mux), slot_(slot) {}
+    ProcessId self() const override { return mux_.host_.self(); }
+    std::size_t universe() const override { return mux_.host_.universe(); }
+    std::size_t fault_threshold() const override {
+      return mux_.host_.fault_threshold();
+    }
+    void host_send(ProcessId to, sim::MessagePtr msg) override;
+    void host_set_timer(int timer_id, SimTime delay) override;
+    SimTime host_now() const override { return mux_.host_.host_now(); }
+    std::uint64_t host_sign(std::uint64_t statement) const override {
+      return mux_.host_.host_sign(statement);
+    }
+    bool host_verify(ProcessId signer, std::uint64_t statement,
+                     std::uint64_t token) const override {
+      return mux_.host_.host_verify(signer, statement, token);
+    }
+
+   private:
+    LedgerMultiplexer& mux_;
+    std::uint64_t slot_;
+  };
+
+  struct Slot {
+    std::unique_ptr<SlotHost> shim;
+    std::unique_ptr<ScpNode> node;
+  };
+
+  Slot& ensure_slot(std::uint64_t slot);
+  void start_slot(std::uint64_t slot);
+  void on_decided(std::uint64_t slot, Value value);
+
+  sim::ProtocolHost& host_;
+  std::size_t universe_;
+  fbqs::QSet qset_;
+  std::size_t target_slots_;
+  ScpConfig scp_config_;
+  NodeSet peers_;
+  bool started_ = false;
+  std::uint64_t next_to_start_ = 1;
+  std::map<std::uint64_t, Slot> slots_;
+  std::map<std::uint64_t, Value> decisions_;
+};
+
+}  // namespace scup::scp

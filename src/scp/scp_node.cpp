@@ -1,0 +1,502 @@
+#include "scp/scp_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scup::scp {
+
+ScpNode::ScpNode(sim::ProtocolHost& host, std::size_t universe,
+                 fbqs::QSet qset, Value own_value, ScpConfig config)
+    : host_(host),
+      qset_(std::move(qset)),
+      own_value_(own_value),
+      config_(config),
+      peers_(universe) {}
+
+void ScpNode::set_qset(fbqs::QSet qset) {
+  if (started_) throw std::logic_error("ScpNode::set_qset after start");
+  qset_ = std::move(qset);
+}
+
+void ScpNode::set_proposal(Value value) {
+  if (started_) throw std::logic_error("ScpNode::set_proposal after start");
+  if (value == kNoValue) {
+    throw std::invalid_argument("ScpNode::set_proposal: zero value");
+  }
+  own_value_ = value;
+}
+
+void ScpNode::add_peer(ProcessId peer) {
+  if (peer == host_.self() || peer >= peers_.universe_size() ||
+      peers_.contains(peer)) {
+    return;
+  }
+  peers_.add(peer);
+  if (!started_) return;
+  // Late joiners need our current state (both streams).
+  for (const auto* map : {&latest_nom_, &latest_ballot_}) {
+    const auto it = map->find(host_.self());
+    if (it != map->end()) {
+      host_.host_send(peer, std::make_shared<const Envelope>(it->second));
+    }
+  }
+}
+
+void ScpNode::start() {
+  if (started_) return;
+  if (qset_.empty()) {
+    // An empty qset makes every quorum check degenerate to {self}; starting
+    // in that state silently destroys agreement, so refuse loudly.
+    throw std::logic_error("ScpNode::start: quorum set not configured");
+  }
+  started_ = true;
+  nom_voted_.insert(own_value_);
+  emit_nomination();
+  advance();
+}
+
+bool ScpNode::handle(ProcessId from, const sim::Message& msg) {
+  const auto* env = dynamic_cast<const Envelope*>(&msg);
+  if (env == nullptr) return false;
+  if (env->sender != from) return true;  // forged sender field: drop
+
+  auto& stream = is_ballot_statement(env->statement) ? latest_ballot_
+                                                     : latest_nom_;
+  const auto it = stream.find(from);
+  if (it != stream.end() && it->second.seq >= env->seq) return true;  // stale
+  stream.insert_or_assign(from, *env);
+
+  if (!started_) return true;  // buffered; acted on at start
+
+  // Echo-all nomination: vote for every value we see nominated (until we
+  // have decided — echoes are pointless afterwards).
+  if (const auto* nom = std::get_if<NominateStmt>(&env->statement)) {
+    if (!decided_) {
+      bool grew = false;
+      for (Value v : nom->voted) grew |= nom_voted_.insert(v).second;
+      for (Value v : nom->accepted) grew |= nom_voted_.insert(v).second;
+      if (grew) emit_nomination();
+    }
+  }
+  advance();
+  return true;
+}
+
+// ---------------------------------------------------------------- federated
+
+void ScpNode::gather(const std::map<ProcessId, Envelope>& source,
+                     const StatementPred& pred, NodeSet& out) const {
+  for (const auto& [id, env] : source) {
+    if (pred(env.statement)) out.add(id);
+  }
+}
+
+bool ScpNode::is_quorum_satisfying(const StatementPred& pred) const {
+  // Supporters across both streams: a node supports the predicate if any of
+  // its current statements implies it.
+  NodeSet support(peers_.universe_size());
+  gather(latest_nom_, pred, support);
+  gather(latest_ballot_, pred, support);
+  if (!support.contains(host_.self())) return false;
+
+  // Algorithm-1 closure: repeatedly drop members whose quorum set is not
+  // satisfied by the remaining support (own qset for self, attached qsets
+  // for others; the ballot-stream qset wins when both exist, they are the
+  // same for correct senders anyway).
+  auto qset_of = [this](ProcessId id) -> const fbqs::QSet& {
+    if (id == host_.self()) return qset_;
+    const auto bit = latest_ballot_.find(id);
+    if (bit != latest_ballot_.end()) return bit->second.qset;
+    return latest_nom_.at(id).qset;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcessId id : support) {
+      if (!qset_of(id).satisfied_by(support)) {
+        support.remove(id);
+        changed = true;
+      }
+    }
+  }
+  return support.contains(host_.self());
+}
+
+bool ScpNode::is_vblocking(const StatementPred& pred) const {
+  NodeSet blockers(peers_.universe_size());
+  gather(latest_nom_, pred, blockers);
+  gather(latest_ballot_, pred, blockers);
+  blockers.remove(host_.self());
+  return qset_.blocked_by(blockers);
+}
+
+bool ScpNode::federated_accept(const StatementPred& votes_or_accepts,
+                               const StatementPred& accepts) const {
+  return is_vblocking(accepts) || is_quorum_satisfying(votes_or_accepts);
+}
+
+bool ScpNode::federated_ratify(const StatementPred& accepts) const {
+  return is_quorum_satisfying(accepts);
+}
+
+// ------------------------------------------------------------------ driving
+
+void ScpNode::advance() {
+  if (!started_) return;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (!decided_) {
+      // Nomination keeps running during the ballot phases: candidate sets
+      // at different nodes converge over time, which is what lets ballot
+      // values agree after bumps.
+      changed |= step_nomination();
+    }
+    if (phase_ == Phase::kNominate) {
+      changed |= maybe_start_ballot();
+    }
+    if (phase_ == Phase::kPrepare || phase_ == Phase::kConfirm) {
+      changed |= step_ballot();
+    }
+  }
+}
+
+bool ScpNode::step_nomination() {
+  bool changed = false;
+  // Candidate values: everything anyone has mentioned.
+  std::set<Value> seen = nom_voted_;
+  for (const auto& [id, env] : latest_nom_) {
+    if (const auto* nom = std::get_if<NominateStmt>(&env.statement)) {
+      seen.insert(nom->voted.begin(), nom->voted.end());
+      seen.insert(nom->accepted.begin(), nom->accepted.end());
+    }
+  }
+  for (Value v : seen) {
+    if (nom_accepted_.count(v) == 0) {
+      const bool accepted = federated_accept(
+          [v](const Statement& s) { return votes_nominate(s, v); },
+          [v](const Statement& s) { return accepts_nominate(s, v); });
+      if (accepted) {
+        nom_accepted_.insert(v);
+        nom_voted_.insert(v);
+        changed = true;
+      }
+    }
+    if (nom_accepted_.count(v) > 0 && candidates_.count(v) == 0) {
+      if (federated_ratify([v](const Statement& s) {
+            return accepts_nominate(s, v);
+          })) {
+        candidates_.insert(v);
+        changed = true;
+      }
+    }
+  }
+  if (changed) emit_nomination();
+  return changed;
+}
+
+Value ScpNode::composite_candidate() const {
+  // Deterministic combine: maximum of the confirmed candidates.
+  return candidates_.empty() ? own_value_ : *candidates_.rbegin();
+}
+
+bool ScpNode::maybe_start_ballot() {
+  if (phase_ != Phase::kNominate) return false;
+
+  Value value = kNoValue;
+  if (!candidates_.empty()) {
+    value = composite_candidate();
+  } else {
+    // Catch-up: if a v-blocking set has moved to the ballot protocol, adopt
+    // the value of the highest working ballot among them.
+    if (!is_vblocking(
+            [](const Statement& s) { return is_ballot_statement(s); })) {
+      return false;
+    }
+    Ballot best;
+    for (const auto& [id, env] : latest_ballot_) {
+      if (id == host_.self()) continue;
+      const Ballot wb = working_ballot(env.statement);
+      if (wb.valid() && best < wb) best = wb;
+    }
+    if (!best.valid()) return false;
+    value = best.x;
+  }
+
+  phase_ = Phase::kPrepare;
+  b_ = Ballot{1, value};
+  arm_ballot_timer();
+  emit_ballot();
+  return true;
+}
+
+bool ScpNode::step_ballot() {
+  bool changed = false;
+  changed |= attempt_accept_prepared();
+  changed |= attempt_confirm_prepared();
+  changed |= attempt_accept_commit();
+  changed |= attempt_confirm_commit();
+  return changed;
+}
+
+std::vector<Ballot> ScpNode::candidate_ballots() const {
+  std::vector<Ballot> out;
+  auto push = [&out](const Ballot& b) {
+    if (b.valid()) out.push_back(b);
+  };
+  push(b_);
+  for (const auto& [id, env] : latest_ballot_) {
+    if (const auto* p = std::get_if<PrepareStmt>(&env.statement)) {
+      push(p->b);
+      push(p->p);
+      push(p->p_prime);
+    } else if (const auto* c = std::get_if<ConfirmStmt>(&env.statement)) {
+      push(c->b);
+      push(Ballot{c->p_n, c->b.x});
+      push(Ballot{c->h_n, c->b.x});
+    } else if (const auto* e = std::get_if<ExternalizeStmt>(&env.statement)) {
+      push(e->commit);
+      push(Ballot{e->h_n, e->commit.x});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  std::reverse(out.begin(), out.end());  // highest first
+  return out;
+}
+
+bool ScpNode::attempt_accept_prepared() {
+  bool changed = false;
+  for (const Ballot& beta : candidate_ballots()) {
+    // Skip if already covered by p_ or p_prime_.
+    if (le_compatible(beta, p_) || le_compatible(beta, p_prime_)) continue;
+    const bool accepted = federated_accept(
+        [&beta](const Statement& s) {
+          return votes_prepare(s, beta) || accepts_prepared(s, beta);
+        },
+        [&beta](const Statement& s) { return accepts_prepared(s, beta); });
+    if (!accepted) continue;
+    // Update (p, p') = two highest accepted-prepared, mutually incompatible.
+    if (!p_.valid() || p_ < beta) {
+      if (p_.valid() && !compatible(p_, beta)) p_prime_ = p_;
+      p_ = beta;
+    } else if (!compatible(beta, p_) && (!p_prime_.valid() || p_prime_ < beta)) {
+      p_prime_ = beta;
+    }
+    changed = true;
+  }
+  if (changed) {
+    // Accepting prepared(p) aborts commit votes for incompatible smaller
+    // ballots: if c is incompatible with p (or p'), clear it.
+    if (c_.valid() &&
+        ((p_.valid() && !compatible(c_, p_) && c_ < p_) ||
+         (p_prime_.valid() && !compatible(c_, p_prime_) && c_ < p_prime_))) {
+      c_ = Ballot{};
+    }
+    emit_ballot();
+  }
+  return changed;
+}
+
+bool ScpNode::attempt_confirm_prepared() {
+  bool changed = false;
+  for (const Ballot& beta : candidate_ballots()) {
+    // Can only confirm what we have accepted.
+    if (!le_compatible(beta, p_) && !le_compatible(beta, p_prime_)) continue;
+    if (le_compatible(beta, h_)) continue;  // already confirmed higher
+    if (federated_ratify([&beta](const Statement& s) {
+          return accepts_prepared(s, beta);
+        })) {
+      if (!h_.valid() || h_ < beta) {
+        h_ = beta;
+        changed = true;
+      }
+    }
+  }
+  if (!changed) return false;
+
+  // Adopt the confirmed value and start voting commit: b tracks h, and c is
+  // the lowest ballot of the commit vote range.
+  if (!compatible(b_, h_) || b_.n < h_.n) {
+    b_ = Ballot{std::max(b_.n, h_.n), h_.x};
+  }
+  if (!c_.valid() && compatible(b_, h_) && b_.n <= h_.n) {
+    // Vote commit for [b, h] unless something incompatible above h was
+    // accepted prepared (which would abort those commit votes).
+    const bool aborted =
+        (p_.valid() && !compatible(p_, h_) && h_ < p_) ||
+        (p_prime_.valid() && !compatible(p_prime_, h_) && h_ < p_prime_);
+    if (!aborted) c_ = b_;
+  }
+  emit_ballot();
+  return true;
+}
+
+std::vector<std::uint32_t> ScpNode::commit_boundaries(Value x) const {
+  std::vector<std::uint32_t> ns;
+  auto push = [&ns](std::uint32_t n) {
+    if (n > 0) ns.push_back(n);
+  };
+  if (c_.valid() && c_.x == x) {
+    push(c_.n);
+    push(h_.n);
+  }
+  for (const auto& [id, env] : latest_ballot_) {
+    if (const auto* p = std::get_if<PrepareStmt>(&env.statement)) {
+      if (p->b.x == x) {
+        push(p->c_n);
+        push(p->h_n);
+      }
+    } else if (const auto* c = std::get_if<ConfirmStmt>(&env.statement)) {
+      if (c->b.x == x) {
+        push(c->c_n);
+        push(c->h_n);
+      }
+    } else if (const auto* e = std::get_if<ExternalizeStmt>(&env.statement)) {
+      if (e->commit.x == x) {
+        push(e->commit.n);
+        push(e->h_n);
+      }
+    }
+  }
+  std::sort(ns.begin(), ns.end());
+  ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
+  return ns;
+}
+
+bool ScpNode::attempt_accept_commit() {
+  if (!b_.valid()) return false;
+  const Value x = b_.x;
+  bool changed = false;
+  for (std::uint32_t n : commit_boundaries(x)) {
+    if (commit_c_n_ != 0 && commit_c_n_ <= n && n <= commit_h_n_) continue;
+    const bool accepted = federated_accept(
+        [n, x](const Statement& s) {
+          return votes_commit(s, n, x) || accepts_commit(s, n, x);
+        },
+        [n, x](const Statement& s) { return accepts_commit(s, n, x); });
+    if (!accepted) continue;
+    if (commit_c_n_ == 0) {
+      commit_c_n_ = commit_h_n_ = n;
+    } else {
+      commit_c_n_ = std::min(commit_c_n_, n);
+      commit_h_n_ = std::max(commit_h_n_, n);
+    }
+    changed = true;
+  }
+  if (!changed) return false;
+
+  if (phase_ == Phase::kPrepare) phase_ = Phase::kConfirm;
+  // b tracks the highest accepted commit counter.
+  if (b_.n < commit_h_n_) b_ = Ballot{commit_h_n_, x};
+  if (h_.n < commit_h_n_ || !compatible(h_, b_)) h_ = Ballot{commit_h_n_, x};
+  emit_ballot();
+  return true;
+}
+
+bool ScpNode::attempt_confirm_commit() {
+  if (phase_ != Phase::kConfirm || commit_c_n_ == 0) return false;
+  const Value x = b_.x;
+  bool changed = false;
+  for (std::uint32_t n : commit_boundaries(x)) {
+    if (ext_c_n_ != 0 && ext_c_n_ <= n && n <= ext_h_n_) continue;
+    if (!federated_ratify([n, x](const Statement& s) {
+          return accepts_commit(s, n, x);
+        })) {
+      continue;
+    }
+    if (ext_c_n_ == 0) {
+      ext_c_n_ = ext_h_n_ = n;
+    } else {
+      ext_c_n_ = std::min(ext_c_n_, n);
+      ext_h_n_ = std::max(ext_h_n_, n);
+    }
+    changed = true;
+  }
+  if (!changed) return false;
+
+  phase_ = Phase::kExternalize;
+  decided_ = x;
+  emit_ballot();
+  if (on_decide) on_decide(x);
+  return true;
+}
+
+// ---------------------------------------------------------------- emission
+
+Statement ScpNode::ballot_statement() const {
+  switch (phase_) {
+    case Phase::kPrepare: {
+      PrepareStmt s;
+      s.b = b_;
+      s.p = p_;
+      s.p_prime = p_prime_;
+      s.c_n = c_.valid() ? c_.n : 0;
+      s.h_n = h_.valid() && compatible(h_, b_) ? h_.n : 0;
+      return s;
+    }
+    case Phase::kConfirm: {
+      ConfirmStmt s;
+      s.b = b_;
+      s.p_n = p_.valid() && compatible(p_, b_) ? p_.n : 0;
+      s.c_n = commit_c_n_;
+      s.h_n = commit_h_n_;
+      return s;
+    }
+    case Phase::kExternalize: {
+      ExternalizeStmt s;
+      s.commit = Ballot{ext_c_n_, *decided_};
+      s.h_n = ext_h_n_;
+      return s;
+    }
+    case Phase::kNominate:
+      break;
+  }
+  throw std::logic_error("ballot_statement called in nomination phase");
+}
+
+void ScpNode::emit_nomination() {
+  ++seq_;
+  Envelope env(host_.self(), seq_, qset_,
+               Statement{NominateStmt{nom_voted_, nom_accepted_}});
+  latest_nom_.insert_or_assign(host_.self(), env);
+  const auto msg = std::make_shared<const Envelope>(std::move(env));
+  for (ProcessId peer : peers_) host_.host_send(peer, msg);
+}
+
+void ScpNode::emit_ballot() {
+  ++seq_;
+  Envelope env(host_.self(), seq_, qset_, ballot_statement());
+  latest_ballot_.insert_or_assign(host_.self(), env);
+  const auto msg = std::make_shared<const Envelope>(std::move(env));
+  for (ProcessId peer : peers_) host_.host_send(peer, msg);
+}
+
+void ScpNode::arm_ballot_timer() {
+  const std::uint32_t round = std::min(b_.n, config_.timeout_growth_cap);
+  host_.host_set_timer(kScpBallotTimerId,
+                       config_.ballot_timeout_base * (round + 1));
+}
+
+void ScpNode::on_ballot_timer() {
+  if (!started_ || decided_) return;
+  if (phase_ == Phase::kNominate) {
+    arm_ballot_timer();
+    return;
+  }
+  // Bump the ballot counter; keep the confirmed-prepared value if any (so
+  // commit votes are never contradicted), else refresh the composite from
+  // the (still running) nomination.
+  const Value value = h_.valid() ? h_.x : composite_candidate();
+  b_ = Ballot{b_.n + 1, value};
+  arm_ballot_timer();
+  emit_ballot();
+  advance();
+}
+
+Value ScpNode::decision() const {
+  if (!decided_) throw std::logic_error("ScpNode::decision: not decided");
+  return *decided_;
+}
+
+}  // namespace scup::scp

@@ -1,0 +1,152 @@
+// Single-slot SCP state machine: nomination protocol + ballot protocol with
+// federated voting (vote → accept → confirm) over the node's quorum set.
+//
+// Faithfulness notes (vs. the SCP whitepaper / stellar-core):
+//  - Quorum checks use the Algorithm-1 closure over the quorum sets attached
+//    to envelopes; acceptance uses quorum OR v-blocking, confirmation uses
+//    quorum ratification.
+//  - Nomination uses "echo everything seen": every value appearing in a
+//    received NOMINATE is added to our own voted set. This keeps the
+//    protocol leaderless and convergent; the composite value of the
+//    confirmed candidate set is their maximum (any deterministic combine
+//    works for the paper's theorems).
+//  - Ballot bumping: a timer that grows linearly with the ballot counter;
+//    after GST all correct nodes eventually share a long enough round to
+//    confirm commit (standard partial-synchrony argument).
+//  - A node stuck in nomination adopts the value of the highest ballot of a
+//    v-blocking set that has moved on (stellar-core's catch-up rule), which
+//    lets non-sink nodes follow the sink.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/node_set.hpp"
+#include "fbqs/qset.hpp"
+#include "scp/envelope.hpp"
+#include "sim/host.hpp"
+
+namespace scup::scp {
+
+/// Timer id used by ScpNode; the composed host must route this id's
+/// on_timer back into on_ballot_timer().
+inline constexpr int kScpBallotTimerId = 100;
+
+struct ScpConfig {
+  /// Base ballot timeout; round k times out after base * (k+1).
+  SimTime ballot_timeout_base = 100;
+  /// Upper bound on the per-round timeout growth.
+  std::uint32_t timeout_growth_cap = 50;
+};
+
+class ScpNode {
+ public:
+  /// `universe` is the total number of process ids (needed at construction
+  /// time, before the host is attached to a simulation).
+  ScpNode(sim::ProtocolHost& host, std::size_t universe, fbqs::QSet qset,
+          Value own_value, ScpConfig config = {});
+
+  /// Replaces the quorum set (used when slices only become known after the
+  /// sink detector returns). Must be called before start().
+  void set_qset(fbqs::QSet qset);
+
+  /// Replaces the proposal value (used by the ledger multiplexer, which
+  /// learns a slot's proposal only when the previous slot closes). Must be
+  /// called before start().
+  void set_proposal(Value value);
+
+  /// Adds a peer; if already started, our latest envelope is retransmitted
+  /// to it so late-discovered processes catch up.
+  void add_peer(ProcessId peer);
+  const NodeSet& peers() const { return peers_; }
+
+  /// Begins nomination (votes for own value).
+  void start();
+  bool started() const { return started_; }
+
+  /// Feeds a received message; returns true if consumed (it was an SCP
+  /// envelope).
+  bool handle(ProcessId from, const sim::Message& msg);
+
+  /// Must be called by the host when kScpBallotTimerId fires.
+  void on_ballot_timer();
+
+  bool decided() const { return decided_.has_value(); }
+  Value decision() const;
+
+  /// Externalization callback (fired once).
+  std::function<void(Value)> on_decide;
+
+  // ---- Introspection for tests and experiments ----
+  std::uint32_t ballot_counter() const { return b_.n; }
+  const std::set<Value>& candidates() const { return candidates_; }
+  std::size_t envelopes_emitted() const { return seq_; }
+
+  enum class Phase { kNominate, kPrepare, kConfirm, kExternalize };
+  Phase phase() const { return phase_; }
+
+ private:
+  // -- federated voting over stored envelopes (self included) --
+  using StatementPred = std::function<bool(const Statement&)>;
+  bool is_quorum_satisfying(const StatementPred& pred) const;
+  bool is_vblocking(const StatementPred& pred) const;
+  bool federated_accept(const StatementPred& votes_or_accepts,
+                        const StatementPred& accepts) const;
+  bool federated_ratify(const StatementPred& accepts) const;
+
+  void advance();          // run protocol steps to fixpoint
+  bool step_nomination();  // returns true if state changed
+  void gather(const std::map<ProcessId, Envelope>& source,
+              const StatementPred& pred, NodeSet& out) const;
+  bool step_ballot();
+  bool attempt_accept_prepared();
+  bool attempt_confirm_prepared();
+  bool attempt_accept_commit();
+  bool attempt_confirm_commit();
+  bool maybe_start_ballot();
+
+  void emit_nomination();  // store + broadcast our nomination envelope
+  void emit_ballot();      // store + broadcast our ballot envelope
+  Statement ballot_statement() const;
+  Value composite_candidate() const;
+  std::vector<Ballot> candidate_ballots() const;
+  std::vector<std::uint32_t> commit_boundaries(Value x) const;
+  void arm_ballot_timer();
+
+  sim::ProtocolHost& host_;
+  fbqs::QSet qset_;
+  Value own_value_;
+  ScpConfig config_;
+
+  NodeSet peers_;
+  bool started_ = false;
+  std::uint64_t seq_ = 0;
+
+  // Nomination state.
+  std::set<Value> nom_voted_;
+  std::set<Value> nom_accepted_;
+  std::set<Value> candidates_;
+
+  // Ballot state.
+  Phase phase_ = Phase::kNominate;
+  Ballot b_;        // current ballot
+  Ballot p_;        // highest accepted prepared
+  Ballot p_prime_;  // highest accepted prepared incompatible with p_
+  Ballot h_;        // highest confirmed prepared
+  Ballot c_;        // lowest ballot we vote commit for
+  std::uint32_t commit_c_n_ = 0;  // accepted commit range (CONFIRM phase)
+  std::uint32_t commit_h_n_ = 0;
+  std::uint32_t ext_c_n_ = 0;  // confirmed commit range (EXTERNALIZE)
+  std::uint32_t ext_h_n_ = 0;
+  std::optional<Value> decided_;
+
+  // Nomination and ballot protocols are separate message streams (as in
+  // stellar-core): a sender's latest envelope of each kind is stored
+  // independently, so progress on one never erases evidence for the other.
+  std::map<ProcessId, Envelope> latest_nom_;
+  std::map<ProcessId, Envelope> latest_ballot_;
+};
+
+}  // namespace scup::scp

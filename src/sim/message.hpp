@@ -1,0 +1,34 @@
+// Polymorphic message base for the simulator.
+//
+// Each protocol layer (certificate gossip, SINK discovery, sink detector,
+// SCP, PBFT) defines its own Message subclasses and dispatches on them in
+// Process::on_message. Messages are immutable once sent and shared between
+// the sender's log and all recipients.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace scup::sim {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Stable name used for metrics aggregation (e.g. "scp.prepare").
+  virtual std::string type_name() const = 0;
+
+  /// Approximate wire size in bytes, for traffic accounting. Subclasses
+  /// should override with a size reflecting their payload.
+  virtual std::size_t byte_size() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+template <typename T, typename... Args>
+MessagePtr make_message(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+}  // namespace scup::sim

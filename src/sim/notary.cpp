@@ -1,0 +1,26 @@
+#include "sim/notary.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace scup::sim {
+
+Notary::Notary(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed ^ 0x517e7a11ULL);
+  secrets_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) secrets_.push_back(rng.next_u64());
+}
+
+Notary::Token Notary::sign(ProcessId signer, std::uint64_t statement) const {
+  if (signer >= secrets_.size()) throw std::out_of_range("Notary::sign");
+  return hash_mix(secrets_[signer], statement, 0x5197ULL);
+}
+
+bool Notary::verify(ProcessId signer, std::uint64_t statement,
+                    Token token) const {
+  if (signer >= secrets_.size()) return false;
+  return sign(signer, statement) == token;
+}
+
+}  // namespace scup::sim

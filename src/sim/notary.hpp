@@ -1,0 +1,35 @@
+// Signature simulation.
+//
+// The paper's model assumes authenticated channels and (implicitly, via the
+// BFT-CUP substrate) the ability to present unforgeable evidence of what
+// other processes said (e.g. PBFT view-change certificates). Instead of real
+// cryptography we keep a per-process secret inside the simulator: a token is
+// a keyed hash of (secret, statement). Correct processes sign only their own
+// statements through Process-level helpers; Byzantine implementations can
+// replay tokens they have observed but cannot mint tokens for other
+// processes (they never see the secrets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace scup::sim {
+
+class Notary {
+ public:
+  using Token = std::uint64_t;
+
+  Notary(std::size_t n, std::uint64_t seed);
+
+  /// Token binding `signer` to `statement`.
+  Token sign(ProcessId signer, std::uint64_t statement) const;
+
+  bool verify(ProcessId signer, std::uint64_t statement, Token token) const;
+
+ private:
+  std::vector<std::uint64_t> secrets_;
+};
+
+}  // namespace scup::sim

@@ -1,0 +1,190 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+namespace scup::sim {
+
+Simulation::Simulation(std::size_t n, NetworkConfig config)
+    : n_(n),
+      config_(config),
+      net_rng_(config.seed),
+      notary_(n, config.seed),
+      processes_(n),
+      isolated_(n, false),
+      timer_generations_(n) {
+  if (config_.min_delay < 0 || config_.max_delay < config_.min_delay ||
+      config_.pre_gst_max_delay < config_.min_delay) {
+    throw std::invalid_argument("Simulation: inconsistent delay bounds");
+  }
+  process_rngs_.reserve(n);
+  Rng seeder(config.seed ^ 0x5eedULL);
+  for (std::size_t i = 0; i < n; ++i) process_rngs_.push_back(seeder.split());
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::install(ProcessId id, std::unique_ptr<Process> process) {
+  if (id >= n_) throw std::out_of_range("Simulation::install: bad id");
+  if (started_) throw std::logic_error("Simulation::install after start");
+  process->sim_ = this;
+  process->id_ = id;
+  processes_[id] = std::move(process);
+}
+
+Process& Simulation::process(ProcessId id) {
+  if (id >= n_ || !processes_[id]) {
+    throw std::out_of_range("Simulation::process: bad id");
+  }
+  return *processes_[id];
+}
+
+const Process& Simulation::process(ProcessId id) const {
+  if (id >= n_ || !processes_[id]) {
+    throw std::out_of_range("Simulation::process: bad id");
+  }
+  return *processes_[id];
+}
+
+void Simulation::start() {
+  if (started_) throw std::logic_error("Simulation::start called twice");
+  for (ProcessId id = 0; id < n_; ++id) {
+    if (!processes_[id]) {
+      throw std::logic_error("Simulation::start: process " +
+                             std::to_string(id) + " not installed");
+    }
+  }
+  started_ = true;
+  for (ProcessId id = 0; id < n_; ++id) processes_[id]->start();
+}
+
+SimTime Simulation::sample_delay() {
+  const SimTime hi =
+      now_ < config_.gst ? config_.pre_gst_max_delay : config_.max_delay;
+  return net_rng_.uniform_range(config_.min_delay, hi);
+}
+
+void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
+  if (to >= n_) throw std::out_of_range("send: bad destination");
+  if (!msg) throw std::invalid_argument("send: null message");
+  metrics_.messages_sent += 1;
+  const std::size_t bytes = msg->byte_size();
+  metrics_.bytes_sent += bytes;
+  const std::string type = msg->type_name();
+  metrics_.messages_by_type[type] += 1;
+  metrics_.bytes_by_type[type] += bytes;
+
+  Event e;
+  e.time = now_ + sample_delay();
+  e.seq = next_seq_++;
+  e.kind = EventKind::kDeliver;
+  e.target = to;
+  e.from = from;
+  e.msg = std::move(msg);
+  queue_.push(std::move(e));
+}
+
+void Simulation::enqueue_timer(ProcessId target, int timer_id, SimTime delay) {
+  if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
+  const std::uint64_t generation = ++timer_generations_[target][timer_id];
+  Event e;
+  e.time = now_ + delay;
+  e.seq = next_seq_++;
+  e.kind = EventKind::kTimer;
+  e.target = target;
+  e.timer_id = timer_id;
+  e.timer_generation = generation;
+  queue_.push(std::move(e));
+}
+
+void Simulation::cancel_timer(ProcessId target, int timer_id) {
+  // Bumping the generation invalidates any queued firing.
+  ++timer_generations_[target][timer_id];
+}
+
+void Simulation::isolate(ProcessId id) {
+  if (id >= n_) throw std::out_of_range("isolate: bad id");
+  isolated_[id] = true;
+}
+
+void Simulation::dispatch(const Event& event) {
+  Process& p = *processes_[event.target];
+  if (event.kind == EventKind::kDeliver) {
+    if (isolated_[event.target]) return;
+    p.on_message(event.from, event.msg);
+    return;
+  }
+  // Timer: drop if re-armed/cancelled since scheduling.
+  const auto it = timer_generations_[event.target].find(event.timer_id);
+  if (it == timer_generations_[event.target].end() ||
+      it->second != event.timer_generation) {
+    return;
+  }
+  metrics_.timer_fires += 1;
+  p.on_timer(event.timer_id);
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  metrics_.events_processed += 1;
+  dispatch(event);
+  return true;
+}
+
+bool Simulation::run_until(const std::function<bool()>& predicate,
+                           SimTime deadline) {
+  if (!started_) throw std::logic_error("run_until before start");
+  if (predicate()) return true;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    if (predicate()) return true;
+  }
+  return predicate();
+}
+
+std::size_t Simulation::run_for(SimTime deadline) {
+  if (!started_) throw std::logic_error("run_for before start");
+  std::size_t processed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    ++processed;
+  }
+  return processed;
+}
+
+// ---- Process member functions that need the Simulation definition ----
+
+void Process::send(ProcessId to, MessagePtr msg) {
+  sim_->enqueue_send(id_, to, std::move(msg));
+}
+
+void Process::send_all(const NodeSet& to, const MessagePtr& msg) {
+  for (ProcessId p : to) {
+    if (p != id_) send(p, msg);
+  }
+}
+
+void Process::set_timer(int timer_id, SimTime delay) {
+  sim_->enqueue_timer(id_, timer_id, delay);
+}
+
+void Process::cancel_timer(int timer_id) { sim_->cancel_timer(id_, timer_id); }
+
+SimTime Process::now() const { return sim_->now(); }
+
+Rng& Process::rng() { return sim_->process_rngs_[id_]; }
+
+std::size_t Process::universe_size() const { return sim_->size(); }
+
+std::uint64_t Process::sign(std::uint64_t statement) const {
+  return sim_->notary().sign(id_, statement);
+}
+
+bool Process::verify(ProcessId signer, std::uint64_t statement,
+                     std::uint64_t token) const {
+  return sim_->notary().verify(signer, statement, token);
+}
+
+}  // namespace scup::sim

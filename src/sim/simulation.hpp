@@ -1,0 +1,142 @@
+// Discrete-event simulation of a partially synchronous message-passing
+// system (Dwork-Lynch-Stockmeyer style, Section III-A of the paper):
+// messages sent before GST suffer arbitrary (bounded only by the
+// configuration) delays; messages sent after GST are delivered within
+// [min_delay, max_delay]. Channels are reliable and authenticated;
+// processing is instantaneous (computation bounds are absorbed into message
+// delays, which is standard for protocol simulation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/message.hpp"
+#include "sim/notary.hpp"
+#include "sim/process.hpp"
+
+namespace scup::sim {
+
+struct NetworkConfig {
+  /// Global stabilization time. 0 means the system is synchronous from the
+  /// start.
+  SimTime gst = 0;
+  /// Post-GST delivery delay bounds [min_delay, max_delay].
+  SimTime min_delay = 1;
+  SimTime max_delay = 10;
+  /// Pre-GST delays are uniform in [min_delay, pre_gst_max_delay]; messages
+  /// in flight at GST still use their sampled delay (they are all
+  /// eventually delivered, as required by reliable channels).
+  SimTime pre_gst_max_delay = 200;
+  std::uint64_t seed = 1;
+};
+
+struct SimMetrics {
+  std::size_t messages_sent = 0;
+  std::size_t bytes_sent = 0;
+  std::map<std::string, std::size_t> messages_by_type;
+  std::map<std::string, std::size_t> bytes_by_type;
+  std::size_t timer_fires = 0;
+  std::size_t events_processed = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(std::size_t n, NetworkConfig config);
+  ~Simulation();
+
+  std::size_t size() const { return n_; }
+
+  /// Installs the process implementation for slot `id`. Must be called for
+  /// every id before start(). Returns a reference for configuration.
+  template <typename T, typename... Args>
+  T& emplace_process(ProcessId id, Args&&... args) {
+    auto proc = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *proc;
+    install(id, std::move(proc));
+    return ref;
+  }
+  void install(ProcessId id, std::unique_ptr<Process> process);
+
+  Process& process(ProcessId id);
+  const Process& process(ProcessId id) const;
+
+  /// Calls start() on every process (in id order). Must be called once.
+  void start();
+
+  SimTime now() const { return now_; }
+
+  /// Processes events until `predicate` holds (checked after each event),
+  /// the event queue empties, or simulated time would exceed `deadline`.
+  /// Returns true iff the predicate held.
+  bool run_until(const std::function<bool()>& predicate, SimTime deadline);
+
+  /// Processes all events with time <= deadline (or until the queue runs
+  /// dry). Returns the number of events processed.
+  std::size_t run_for(SimTime deadline);
+
+  const SimMetrics& metrics() const { return metrics_; }
+
+  const Notary& notary() const { return notary_; }
+
+  /// Cuts all future message deliveries *to* `id` (models a process that
+  /// has crashed from the network's point of view; used by failure
+  /// injection tests). Messages already in flight are still counted but
+  /// dropped at delivery.
+  void isolate(ProcessId id);
+
+ private:
+  friend class Process;
+
+  enum class EventKind { kDeliver, kTimer };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    EventKind kind;
+    ProcessId target;
+    // kDeliver
+    ProcessId from = kInvalidProcess;
+    MessagePtr msg;
+    // kTimer
+    int timer_id = 0;
+    std::uint64_t timer_generation = 0;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue_send(ProcessId from, ProcessId to, MessagePtr msg);
+  void enqueue_timer(ProcessId target, int timer_id, SimTime delay);
+  void cancel_timer(ProcessId target, int timer_id);
+  SimTime sample_delay();
+  void dispatch(const Event& event);
+  bool step();  // processes one event; false if queue empty
+
+  std::size_t n_;
+  NetworkConfig config_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Rng net_rng_;
+  Notary notary_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Rng> process_rngs_;
+  std::vector<bool> isolated_;
+  // generation counters for timer cancellation/re-arming
+  std::vector<std::map<int, std::uint64_t>> timer_generations_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimMetrics metrics_;
+  bool started_ = false;
+};
+
+}  // namespace scup::sim

@@ -1,0 +1,67 @@
+// The Sink Detector oracle (Definition 8), implemented as Algorithm 3:
+//
+//  - direct discovery: run the SINK algorithm (cup::SinkDiscovery); sink
+//    members terminate it with ⟨true, V_sink⟩ (Lemma 6);
+//  - indirect discovery: flood ⟨GET_SINK, i⟩ over the knowledge edges
+//    (reachable-reliable broadcast); sink members that have finished SINK
+//    answer every requester in `asked` with ⟨SINK, V_sink⟩; a requester
+//    adopts a value repeated by more than f distinct senders.
+//
+// get_sink's result is ⟨true, V⟩ for sink members and ⟨false, V⟩ for
+// non-sink members, where V contains at least f+1 correct sink members
+// (here: all of V_sink).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/node_set.hpp"
+#include "cup/messages.hpp"
+#include "cup/sink_discovery.hpp"
+#include "sim/host.hpp"
+
+namespace scup::sinkdetector {
+
+struct GetSinkResult {
+  bool is_sink_member = false;
+  NodeSet sink;
+};
+
+class SinkDetector {
+ public:
+  SinkDetector(sim::ProtocolHost& host, NodeSet pd);
+
+  /// Starts Algorithm 3: broadcasts GET_SINK (line 5) and launches the SINK
+  /// algorithm (line 7).
+  void start();
+
+  /// Feeds a received message; returns true if consumed by this layer.
+  bool handle(ProcessId from, const sim::Message& msg);
+
+  bool has_result() const { return result_.has_value(); }
+  const GetSinkResult& result() const;
+
+  /// Invoked exactly once when the result becomes available.
+  std::function<void(const GetSinkResult&)> on_result;
+
+  /// Message counts of the underlying discovery, for experiments.
+  const cup::SinkDiscovery& discovery() const { return discovery_; }
+
+ private:
+  void complete(NodeSet sink);
+  void answer_pending_requests();
+
+  sim::ProtocolHost& host_;
+  NodeSet pd_;
+  std::size_t f_;
+  cup::SinkDiscovery discovery_;
+
+  NodeSet asked_;          // processes that asked us for the sink (line 2)
+  NodeSet forwarded_for_;  // GET_SINK origins already flooded (dedup)
+  std::map<NodeSet, NodeSet> value_senders_;  // value -> senders (line 3)
+  std::optional<NodeSet> sink_;               // line 1
+  std::optional<GetSinkResult> result_;
+};
+
+}  // namespace scup::sinkdetector

@@ -1,0 +1,127 @@
+// Graph generator properties beyond what test_kosr covers: parameter
+// sweeps, failure-placement error paths, and statistical sanity of the
+// Erdos-Renyi generator (all inputs to the experiment suite).
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/kosr.hpp"
+#include "graph/scc.hpp"
+
+namespace scup::graph {
+namespace {
+
+TEST(GeneratorsTest, KosrSweepAllParamsProduceValidGraphs) {
+  for (std::size_t sink : {4u, 6u, 9u}) {
+    for (std::size_t non_sink : {0u, 2u, 5u}) {
+      for (std::size_t k : {2u, 3u}) {
+        if (k >= sink) continue;
+        KosrGenParams params;
+        params.sink_size = sink;
+        params.non_sink_size = non_sink;
+        params.k = k;
+        params.seed = 11;
+        const Digraph g = random_kosr_graph(params);
+        EXPECT_EQ(g.node_count(), sink + non_sink);
+        const KosrReport r = check_kosr(g, k);
+        EXPECT_TRUE(r.ok()) << "sink=" << sink << " ns=" << non_sink
+                            << " k=" << k << " " << r.to_string();
+        EXPECT_EQ(r.sink.count(), sink);
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, KosrExtraEdgesIncreaseDensity) {
+  KosrGenParams sparse;
+  sparse.sink_size = 6;
+  sparse.non_sink_size = 6;
+  sparse.k = 2;
+  sparse.extra_edge_prob = 0.0;
+  sparse.seed = 5;
+  KosrGenParams dense = sparse;
+  dense.extra_edge_prob = 0.5;
+  EXPECT_LT(random_kosr_graph(sparse).edge_count(),
+            random_kosr_graph(dense).edge_count());
+  // Density must not destroy the sink property.
+  EXPECT_TRUE(check_kosr(random_kosr_graph(dense), 2).ok());
+}
+
+TEST(GeneratorsTest, KosrNoExtraEdgesExactCount) {
+  KosrGenParams params;
+  params.sink_size = 7;
+  params.non_sink_size = 3;
+  params.k = 2;
+  params.extra_edge_prob = 0.0;
+  params.seed = 1;
+  const Digraph g = random_kosr_graph(params);
+  // Circulant: 7*2 edges; non-sink: 3*2 edges into the sink.
+  EXPECT_EQ(g.edge_count(), 7u * 2 + 3u * 2);
+}
+
+TEST(GeneratorsTest, PickSafeFaultySetRespectsAllowInSink) {
+  KosrGenParams params;
+  params.sink_size = 5;
+  params.non_sink_size = 4;
+  params.k = 3;
+  params.seed = 3;
+  const Digraph g = random_kosr_graph(params);
+  const NodeSet sink = unique_sink_component(g);
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeSet faulty =
+        pick_safe_faulty_set(g, sink, 1, /*allow_in_sink=*/false, rng);
+    EXPECT_EQ(faulty.count(), 1u);
+    EXPECT_FALSE(faulty.intersects(sink)) << faulty.to_string();
+  }
+}
+
+TEST(GeneratorsTest, PickSafeFaultySetZeroFaults) {
+  const Digraph g = fig2_graph();
+  Rng rng(1);
+  EXPECT_TRUE(pick_safe_faulty_set(g, fig2_sink(), 0, true, rng).empty());
+}
+
+TEST(GeneratorsTest, PickSafeFaultySetErrorsWhenImpossible) {
+  // f=2 on Fig. 2 (7 nodes, 3-OSR) has no safe placement: removing two
+  // nodes cannot leave a 3-OSR residual with a 5-member correct sink.
+  const Digraph g = fig2_graph();
+  Rng rng(2);
+  EXPECT_THROW(pick_safe_faulty_set(g, fig2_sink(), 2, true, rng),
+               std::runtime_error);
+  // Not enough candidates outside the sink.
+  Digraph tiny(2);
+  tiny.add_edge(0, 1);
+  Rng rng2(3);
+  EXPECT_THROW(
+      pick_safe_faulty_set(tiny, NodeSet(2, {0, 1}), 1, false, rng2),
+      std::invalid_argument);
+}
+
+TEST(GeneratorsTest, RandomDigraphEdgeProbability) {
+  const std::size_t n = 60;
+  const Digraph g = random_digraph(n, 0.25, 7);
+  const double max_edges = static_cast<double>(n * (n - 1));
+  const double density = static_cast<double>(g.edge_count()) / max_edges;
+  EXPECT_NEAR(density, 0.25, 0.05);
+  EXPECT_TRUE(random_digraph(10, 0.0, 1).edge_count() == 0);
+  EXPECT_EQ(random_digraph(10, 1.0, 1).edge_count(), 90u);
+}
+
+TEST(GeneratorsTest, RandomDigraphDeterministicPerSeed) {
+  const Digraph a = random_digraph(20, 0.3, 42);
+  const Digraph b = random_digraph(20, 0.3, 42);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (ProcessId u = 0; u < 20; ++u) {
+    EXPECT_EQ(a.successor_set(u), b.successor_set(u));
+  }
+  const Digraph c = random_digraph(20, 0.3, 43);
+  bool differs = a.edge_count() != c.edge_count();
+  for (ProcessId u = 0; u < 20 && !differs; ++u) {
+    differs = !(a.successor_set(u) == c.successor_set(u));
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace scup::graph

@@ -1,0 +1,190 @@
+// Multi-slot ledger tests: chains of SCP instances (LedgerMultiplexer /
+// LedgerNode) must agree slot by slot — the blockchain deployment of
+// Corollary 2.
+#include "core/ledger_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.hpp"
+#include "graph/generators.hpp"
+#include "graph/kosr.hpp"
+#include "graph/scc.hpp"
+#include "sim/simulation.hpp"
+
+namespace scup::core {
+namespace {
+
+struct LedgerHarness {
+  LedgerHarness(const graph::Digraph& g, std::size_t f, const NodeSet& faulty,
+                std::size_t slots, std::uint64_t seed = 1) {
+    sim::NetworkConfig net;
+    net.seed = seed;
+    net.min_delay = 1;
+    net.max_delay = 10;
+    sim = std::make_unique<sim::Simulation>(g.node_count(), net);
+    nodes.assign(g.node_count(), nullptr);
+    for (ProcessId i = 0; i < g.node_count(); ++i) {
+      if (faulty.contains(i)) {
+        sim->emplace_process<SilentNode>(i);
+        continue;
+      }
+      nodes[i] =
+          &sim->emplace_process<LedgerNode>(i, g.pd_of(i), f, slots);
+    }
+    correct = faulty.complement();
+    target = slots;
+  }
+
+  bool run(SimTime deadline = 3'000'000) {
+    sim->start();
+    return sim->run_until(
+        [&] {
+          for (ProcessId i : correct) {
+            if (nodes[i]->decided_slots() < target) return false;
+          }
+          return true;
+        },
+        deadline);
+  }
+
+  std::unique_ptr<sim::Simulation> sim;
+  std::vector<LedgerNode*> nodes;
+  NodeSet correct;
+  std::uint64_t target = 0;
+};
+
+TEST(LedgerTest, FiveSlotsOnFig1AllChainsIdentical) {
+  LedgerHarness h(graph::fig1_graph(), 1, graph::fig1_faulty(), 5);
+  ASSERT_TRUE(h.run());
+  const ProcessId first = h.correct.min_member();
+  const std::uint64_t digest = h.nodes[first]->chain_digest();
+  EXPECT_NE(digest, 0u);
+  for (ProcessId i : h.correct) {
+    EXPECT_EQ(h.nodes[i]->decided_slots(), 5u) << "i=" << i;
+    EXPECT_EQ(h.nodes[i]->chain_digest(), digest) << "i=" << i;
+    for (std::uint64_t slot = 1; slot <= 5; ++slot) {
+      EXPECT_EQ(h.nodes[i]->slot_decision(slot),
+                h.nodes[first]->slot_decision(slot))
+          << "i=" << i << " slot=" << slot;
+    }
+  }
+}
+
+TEST(LedgerTest, SlotsDecideDistinctProposals) {
+  // Default value provider makes proposals slot-dependent; consecutive
+  // slots should (overwhelmingly) decide different values — i.e. the
+  // multiplexer really runs separate instances.
+  LedgerHarness h(graph::fig2_graph(), 1, NodeSet(7, {6}), 4, /*seed=*/9);
+  ASSERT_TRUE(h.run());
+  const ProcessId first = h.correct.min_member();
+  std::set<Value> decided;
+  for (std::uint64_t slot = 1; slot <= 4; ++slot) {
+    decided.insert(h.nodes[first]->slot_decision(slot));
+  }
+  EXPECT_GE(decided.size(), 3u);
+}
+
+TEST(LedgerTest, CustomValueProviderIsUsed) {
+  const auto g = graph::fig2_graph();
+  LedgerHarness h(g, 1, NodeSet(7), 3, /*seed=*/4);
+  for (ProcessId i = 0; i < 7; ++i) {
+    h.nodes[i]->set_value_provider(
+        [](std::uint64_t slot) { return 7'000 + slot; });
+  }
+  ASSERT_TRUE(h.run());
+  for (std::uint64_t slot = 1; slot <= 3; ++slot) {
+    EXPECT_EQ(h.nodes[0]->slot_decision(slot), 7'000 + slot);
+  }
+}
+
+TEST(LedgerTest, WithSinkByzantine) {
+  // A silent Byzantine *sink* member on Fig. 2 must not block the chain.
+  LedgerHarness h(graph::fig2_graph(), 1, NodeSet(7, {2}), 4, /*seed=*/12);
+  ASSERT_TRUE(h.run());
+  const ProcessId first = h.correct.min_member();
+  for (ProcessId i : h.correct) {
+    EXPECT_EQ(h.nodes[i]->chain_digest(), h.nodes[first]->chain_digest());
+  }
+}
+
+TEST(LedgerTest, ChainDigestPrefixConsistency) {
+  // The chain digest covers exactly slots 1..decided_slots() — two nodes at
+  // the same height have the same digest even mid-run.
+  LedgerHarness h(graph::fig1_graph(), 1, NodeSet(8), 3, /*seed=*/21);
+  h.sim->start();
+  h.sim->run_until(
+      [&] {
+        for (ProcessId i : h.correct) {
+          if (h.nodes[i]->decided_slots() < 1) return false;
+        }
+        return true;
+      },
+      2'000'000);
+  std::map<std::uint64_t, std::uint64_t> digest_at_height;
+  for (ProcessId i : h.correct) {
+    const auto height = h.nodes[i]->decided_slots();
+    if (height == 0) continue;
+    // Recompute prefix digest at height via slot decisions.
+    std::uint64_t d = 0;
+    for (std::uint64_t s = 1; s <= height; ++s) {
+      d = hash_mix(d, s, h.nodes[i]->slot_decision(s));
+    }
+    auto [it, inserted] = digest_at_height.emplace(height, d);
+    EXPECT_EQ(it->second, d) << "fork at height " << height;
+  }
+}
+
+TEST(LedgerMultiplexerTest, RequiresValueProvider) {
+  // Direct unit check of the precondition.
+  sim::Simulation sim(2, {});
+  class Bare : public sim::ComposedNode {
+   public:
+    Bare() : ComposedNode(0), mux_(*this, 2, fbqs::QSet(), 1) {}
+    void start() override { mux_.start(); }
+    void on_message(ProcessId, const sim::MessagePtr&) override {}
+    scp::LedgerMultiplexer mux_;
+  };
+  sim.emplace_process<Bare>(0);
+  sim.emplace_process<SilentNode>(1);
+  EXPECT_THROW(sim.start(), std::logic_error);
+}
+
+TEST(LedgerMultiplexerTest, SlotEnvelopeNaming) {
+  const fbqs::QSet q = fbqs::QSet::threshold_of(1, std::vector<ProcessId>{0});
+  const scp::SlotEnvelope e(
+      3, scp::Envelope(0, 1, q, scp::Statement{scp::NominateStmt{}}));
+  EXPECT_EQ(e.type_name(), "scp.slot.nominate");
+  EXPECT_GT(e.byte_size(), 8u);
+}
+
+// Property sweep: random k-OSR graphs, 3-slot chains, random safe faults.
+class LedgerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LedgerPropertyTest, ChainsAgreeOnRandomGraphs) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 3 + 1);
+  const std::size_t f = 1;
+  graph::KosrGenParams params;
+  params.sink_size = 5;
+  params.non_sink_size = 2 + seed % 3;
+  params.k = 2 * f + 1;
+  params.seed = seed;
+  const auto g = graph::random_kosr_graph(params);
+  const NodeSet sink = graph::unique_sink_component(g);
+  const NodeSet faulty =
+      graph::pick_safe_faulty_set(g, sink, f, /*allow_in_sink=*/true, rng);
+
+  LedgerHarness h(g, f, faulty, 3, seed);
+  ASSERT_TRUE(h.run()) << "seed=" << seed;
+  const ProcessId first = h.correct.min_member();
+  for (ProcessId i : h.correct) {
+    EXPECT_EQ(h.nodes[i]->chain_digest(), h.nodes[first]->chain_digest())
+        << "seed=" << seed << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LedgerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace scup::core

@@ -1,0 +1,164 @@
+#include "common/node_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace scup {
+namespace {
+
+TEST(NodeSetTest, EmptyByDefault) {
+  NodeSet s(10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.universe_size(), 10u);
+  EXPECT_EQ(s.min_member(), kInvalidProcess);
+}
+
+TEST(NodeSetTest, AddRemoveContains) {
+  NodeSet s(100);
+  s.add(0);
+  s.add(63);
+  s.add(64);
+  s.add(99);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(99));
+  EXPECT_FALSE(s.contains(50));
+  s.remove(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_EQ(s.count(), 3u);
+  // Removing a non-member or out-of-range id is a no-op.
+  s.remove(63);
+  s.remove(1000);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(NodeSetTest, AddOutOfRangeThrows) {
+  NodeSet s(8);
+  EXPECT_THROW(s.add(8), std::out_of_range);
+  EXPECT_THROW(s.add(1000), std::out_of_range);
+}
+
+TEST(NodeSetTest, InitializerListAndVectorConstruction) {
+  NodeSet a(8, {1, 3, 5});
+  NodeSet b(8, std::vector<ProcessId>{1, 3, 5});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(NodeSetTest, FullSet) {
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 130u}) {
+    NodeSet s = NodeSet::full(n);
+    EXPECT_EQ(s.count(), n) << "n=" << n;
+    if (n > 0) {
+      EXPECT_TRUE(s.contains(0));
+      EXPECT_TRUE(s.contains(static_cast<ProcessId>(n - 1)));
+    }
+  }
+}
+
+TEST(NodeSetTest, SetAlgebra) {
+  NodeSet a(10, {1, 2, 3});
+  NodeSet b(10, {3, 4, 5});
+  EXPECT_EQ((a | b), NodeSet(10, {1, 2, 3, 4, 5}));
+  EXPECT_EQ((a & b), NodeSet(10, {3}));
+  EXPECT_EQ((a - b), NodeSet(10, {1, 2}));
+  EXPECT_EQ((b - a), NodeSet(10, {4, 5}));
+}
+
+TEST(NodeSetTest, MismatchedUniverseThrows) {
+  NodeSet a(10);
+  NodeSet b(11);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW((void)a.subset_of(b), std::invalid_argument);
+}
+
+TEST(NodeSetTest, Complement) {
+  NodeSet a(5, {0, 2, 4});
+  EXPECT_EQ(a.complement(), NodeSet(5, {1, 3}));
+  EXPECT_EQ(a.complement().complement(), a);
+}
+
+TEST(NodeSetTest, SubsetAndIntersection) {
+  NodeSet a(10, {1, 2});
+  NodeSet b(10, {1, 2, 3});
+  NodeSet c(10, {4, 5});
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(b.superset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_EQ(a.intersection_count(b), 2u);
+  EXPECT_EQ(b.intersection_count(c), 0u);
+}
+
+TEST(NodeSetTest, IterationInOrder) {
+  NodeSet s(200, {0, 7, 63, 64, 128, 199});
+  std::vector<ProcessId> got;
+  for (ProcessId p : s) got.push_back(p);
+  EXPECT_EQ(got, (std::vector<ProcessId>{0, 7, 63, 64, 128, 199}));
+  EXPECT_EQ(s.to_vector(), got);
+}
+
+TEST(NodeSetTest, MinMember) {
+  NodeSet s(100);
+  s.add(77);
+  EXPECT_EQ(s.min_member(), 77u);
+  s.add(12);
+  EXPECT_EQ(s.min_member(), 12u);
+}
+
+TEST(NodeSetTest, OrderingAndHash) {
+  NodeSet a(10, {1});
+  NodeSet b(10, {2});
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+  std::unordered_set<NodeSet> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(a);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(NodeSetTest, ToString) {
+  NodeSet s(10, {1, 5});
+  EXPECT_EQ(s.to_string(), "{1, 5}");
+  EXPECT_EQ(NodeSet(4).to_string(), "{}");
+}
+
+// Property test: random sets obey basic identities.
+class NodeSetPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NodeSetPropertyTest, AlgebraIdentities) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.uniform(300);
+  NodeSet a(n), b(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (rng.chance(0.4)) a.add(p);
+    if (rng.chance(0.4)) b.add(p);
+  }
+  // De Morgan.
+  EXPECT_EQ((a | b).complement(), (a.complement() & b.complement()));
+  EXPECT_EQ((a & b).complement(), (a.complement() | b.complement()));
+  // Difference via complement.
+  EXPECT_EQ(a - b, a & b.complement());
+  // Inclusion-exclusion on counts.
+  EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+  // Intersection count consistency.
+  EXPECT_EQ(a.intersection_count(b), (a & b).count());
+  // Subset characterization.
+  EXPECT_EQ(a.subset_of(b), (a - b).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NodeSetPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace scup

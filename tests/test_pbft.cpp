@@ -1,0 +1,178 @@
+// PBFT tests: the sink-internal consensus of the BFT-CUP baseline.
+#include "bftcup/pbft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.hpp"
+#include "sim/composed.hpp"
+#include "sim/simulation.hpp"
+
+namespace scup::bftcup {
+namespace {
+
+class PbftOnlyNode : public sim::ComposedNode {
+ public:
+  PbftOnlyNode(NodeSet members, std::size_t f, Value value)
+      : ComposedNode(f), members_(std::move(members)), value_(value) {}
+
+  void start() override {
+    pbft_ = std::make_unique<PbftConsensus>(*this, members_);
+    pbft_->start(value_);
+  }
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    pbft_->handle(from, *msg);
+  }
+  void on_timer(int timer_id) override {
+    if (timer_id == kPbftTimerId) pbft_->on_view_timer();
+  }
+
+  std::unique_ptr<PbftConsensus> pbft_;
+
+ private:
+  NodeSet members_;
+  Value value_;
+};
+
+struct PbftHarness {
+  PbftHarness(std::size_t n, std::size_t f, const NodeSet& faulty,
+              std::uint64_t seed = 1, SimTime gst = 0) {
+    sim::NetworkConfig net;
+    net.gst = gst;
+    net.min_delay = 1;
+    net.max_delay = 10;
+    net.pre_gst_max_delay = 500;
+    net.seed = seed;
+    sim = std::make_unique<sim::Simulation>(n, net);
+    nodes.assign(n, nullptr);
+    const NodeSet members = NodeSet::full(n);
+    for (ProcessId i = 0; i < n; ++i) {
+      if (faulty.contains(i)) {
+        sim->emplace_process<core::SilentNode>(i);
+        continue;
+      }
+      nodes[i] = &sim->emplace_process<PbftOnlyNode>(i, members, f, 100 + i);
+    }
+    correct = faulty.complement();
+  }
+
+  bool run(SimTime deadline = 1'000'000) {
+    sim->start();
+    return sim->run_until(
+        [&] {
+          for (ProcessId i : correct) {
+            if (!nodes[i]->pbft_->decided()) return false;
+          }
+          return true;
+        },
+        deadline);
+  }
+
+  void check_agreement(std::size_t n) {
+    std::optional<Value> agreed;
+    for (ProcessId i : correct) {
+      ASSERT_TRUE(nodes[i]->pbft_->decided()) << "i=" << i;
+      if (!agreed) agreed = nodes[i]->pbft_->decision();
+      EXPECT_EQ(*agreed, nodes[i]->pbft_->decision());
+    }
+    // Validity (here all proposers are correct or silent): the decided
+    // value is some process's proposal.
+    EXPECT_GE(*agreed, 100u);
+    EXPECT_LT(*agreed, 100 + n);
+  }
+
+  std::unique_ptr<sim::Simulation> sim;
+  std::vector<PbftOnlyNode*> nodes;
+  NodeSet correct;
+};
+
+TEST(PbftTest, QuorumSizeMatchesPaperFormula) {
+  sim::Simulation sim(5, {});
+  auto& node =
+      sim.emplace_process<PbftOnlyNode>(0, NodeSet::full(5), 1, 7);
+  for (ProcessId i = 1; i < 5; ++i) {
+    sim.emplace_process<core::SilentNode>(i);
+  }
+  sim.start();
+  // |S| = 5, f = 1: q = ceil((5+1+1)/2) = 4.
+  EXPECT_EQ(node.pbft_->quorum_size(), 4u);
+  EXPECT_EQ(node.pbft_->leader_of(0), 0u);
+  EXPECT_EQ(node.pbft_->leader_of(7), 2u);
+}
+
+TEST(PbftTest, MemberValidation) {
+  sim::Simulation sim(4, {});
+  // self not a member
+  EXPECT_THROW(sim.emplace_process<PbftOnlyNode>(0, NodeSet(4, {1, 2, 3}), 1,
+                                                 7)
+                   .start(),
+               std::invalid_argument);
+  // too few members for f
+  EXPECT_THROW(
+      sim.emplace_process<PbftOnlyNode>(1, NodeSet(4, {1, 2}), 1, 7).start(),
+      std::invalid_argument);
+}
+
+TEST(PbftTest, AllCorrectFastPath) {
+  PbftHarness h(4, 1, NodeSet(4));
+  ASSERT_TRUE(h.run());
+  h.check_agreement(4);
+  // With a correct leader nobody should have moved past view 0.
+  for (ProcessId i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.nodes[i]->pbft_->view(), 0u);
+  }
+  // Leader's value wins in view 0.
+  EXPECT_EQ(h.nodes[0]->pbft_->decision(), 100u);
+}
+
+TEST(PbftTest, SilentReplicaTolerated) {
+  PbftHarness h(4, 1, NodeSet(4, {2}));
+  ASSERT_TRUE(h.run());
+  h.check_agreement(4);
+}
+
+TEST(PbftTest, SilentLeaderForcesViewChange) {
+  // Process 0 (view-0 leader) is silent; the protocol must rotate.
+  PbftHarness h(4, 1, NodeSet(4, {0}));
+  ASSERT_TRUE(h.run());
+  h.check_agreement(4);
+  for (ProcessId i : h.correct) {
+    EXPECT_GE(h.nodes[i]->pbft_->view(), 1u);
+  }
+}
+
+TEST(PbftTest, SevenNodesTwoSilentIncludingLeader) {
+  PbftHarness h(7, 2, NodeSet(7, {0, 1}));
+  ASSERT_TRUE(h.run());
+  h.check_agreement(7);
+  for (ProcessId i : h.correct) {
+    EXPECT_GE(h.nodes[i]->pbft_->view(), 2u);
+  }
+}
+
+TEST(PbftTest, DecidesUnderPreGstAsynchrony) {
+  PbftHarness h(4, 1, NodeSet(4, {3}), /*seed=*/5, /*gst=*/4'000);
+  ASSERT_TRUE(h.run());
+  h.check_agreement(4);
+}
+
+// Property sweep: sizes 4..9, random silent failure sets (possibly
+// including several leaders), random seeds.
+class PbftPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PbftPropertyTest, AgreementAndTermination) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 101 + 3);
+  const std::size_t n = 4 + rng.uniform(6);
+  const std::size_t f = (n - 1) / 3;
+  NodeSet faulty(n);
+  for (ProcessId p : rng.sample_ids(n, rng.uniform(f + 1))) faulty.add(p);
+  PbftHarness h(n, f, faulty, seed, /*gst=*/seed % 3 == 0 ? 2'000 : 0);
+  ASSERT_TRUE(h.run()) << "n=" << n << " faulty=" << faulty.to_string();
+  h.check_agreement(n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PbftPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace scup::bftcup

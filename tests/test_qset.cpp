@@ -1,0 +1,101 @@
+#include "fbqs/qset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scup::fbqs {
+namespace {
+
+TEST(QSetTest, FlatThresholdSatisfaction) {
+  const QSet q = QSet::threshold_of(2, std::vector<ProcessId>{1, 2, 3});
+  EXPECT_TRUE(q.satisfied_by(NodeSet(5, {1, 2})));
+  EXPECT_TRUE(q.satisfied_by(NodeSet(5, {1, 2, 3})));
+  EXPECT_TRUE(q.satisfied_by(NodeSet(5, {2, 3, 4})));
+  EXPECT_FALSE(q.satisfied_by(NodeSet(5, {1})));
+  EXPECT_FALSE(q.satisfied_by(NodeSet(5, {0, 4})));
+  EXPECT_FALSE(q.satisfied_by(NodeSet(5)));
+}
+
+TEST(QSetTest, ThresholdFromNodeSet) {
+  const QSet q = QSet::threshold_of(1, NodeSet(4, {0, 3}));
+  EXPECT_TRUE(q.satisfied_by(NodeSet(4, {3})));
+  EXPECT_FALSE(q.satisfied_by(NodeSet(4, {1, 2})));
+}
+
+TEST(QSetTest, EmptyQSetAlwaysSatisfiedNeverBlocked) {
+  const QSet q;
+  EXPECT_TRUE(q.satisfied_by(NodeSet(3)));
+  EXPECT_FALSE(q.blocked_by(NodeSet::full(3)));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(QSetTest, ThresholdTooLargeThrows) {
+  EXPECT_THROW(QSet::threshold_of(4, std::vector<ProcessId>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(QSetTest, Blocking) {
+  // 2-of-{1,2,3}: blocked iff fewer than 2 validators survive.
+  const QSet q = QSet::threshold_of(2, std::vector<ProcessId>{1, 2, 3});
+  EXPECT_FALSE(q.blocked_by(NodeSet(5)));
+  EXPECT_FALSE(q.blocked_by(NodeSet(5, {1})));       // {2,3} survive
+  EXPECT_TRUE(q.blocked_by(NodeSet(5, {1, 2})));     // only {3}
+  EXPECT_TRUE(q.blocked_by(NodeSet(5, {1, 2, 3})));
+  // Unanimous qset is blocked by any member.
+  const QSet all = QSet::threshold_of(3, std::vector<ProcessId>{1, 2, 3});
+  EXPECT_TRUE(all.blocked_by(NodeSet(5, {2})));
+}
+
+TEST(QSetTest, NestedSatisfaction) {
+  // 2-of-[v0, 2-of-[v1,v2,v3], 1-of-[v4,v5]]
+  const QSet inner1 = QSet::threshold_of(2, std::vector<ProcessId>{1, 2, 3});
+  const QSet inner2 = QSet::threshold_of(1, std::vector<ProcessId>{4, 5});
+  const QSet q(2, {0}, {inner1, inner2});
+  EXPECT_TRUE(q.satisfied_by(NodeSet(6, {0, 4})));
+  EXPECT_TRUE(q.satisfied_by(NodeSet(6, {1, 2, 5})));
+  EXPECT_FALSE(q.satisfied_by(NodeSet(6, {0})));
+  EXPECT_FALSE(q.satisfied_by(NodeSet(6, {1, 4})));  // inner1 unsatisfied
+  EXPECT_TRUE(q.satisfied_by(NodeSet(6, {0, 1, 2})));
+}
+
+TEST(QSetTest, NestedBlocking) {
+  const QSet inner1 = QSet::threshold_of(2, std::vector<ProcessId>{1, 2, 3});
+  const QSet inner2 = QSet::threshold_of(1, std::vector<ProcessId>{4, 5});
+  const QSet q(2, {0}, {inner1, inner2});
+  // Blocking {0, 2, 3, 4, 5}: v0 gone, inner1 blocked ({2,3} gone), inner2
+  // blocked -> 0 alive < 2. Blocked.
+  EXPECT_TRUE(q.blocked_by(NodeSet(6, {0, 2, 3, 4, 5})));
+  // {2,3}: inner1 blocked, but v0 and inner2 alive -> not blocked.
+  EXPECT_FALSE(q.blocked_by(NodeSet(6, {2, 3})));
+  // {0, 4, 5}: inner1 alive only -> 1 < 2 blocked.
+  EXPECT_TRUE(q.blocked_by(NodeSet(6, {0, 4, 5})));
+}
+
+TEST(QSetTest, BlockingAndSatisfactionDuality) {
+  // If B blocks q, then no subset of B's complement satisfies q.
+  const QSet q = QSet::threshold_of(3, std::vector<ProcessId>{0, 1, 2, 3, 4});
+  const NodeSet b(6, {0, 1, 4});
+  ASSERT_TRUE(q.blocked_by(b));
+  EXPECT_FALSE(q.satisfied_by(b.complement()));
+  const NodeSet b2(6, {0, 1});
+  ASSERT_FALSE(q.blocked_by(b2));
+  EXPECT_TRUE(q.satisfied_by(b2.complement()));
+}
+
+TEST(QSetTest, AllMembers) {
+  const QSet inner = QSet::threshold_of(1, std::vector<ProcessId>{4, 5});
+  const QSet q(1, {0, 2}, {inner});
+  EXPECT_EQ(q.all_members(6), NodeSet(6, {0, 2, 4, 5}));
+  EXPECT_EQ(q.element_count(), 3u);
+}
+
+TEST(QSetTest, EqualityAndToString) {
+  const QSet a = QSet::threshold_of(2, std::vector<ProcessId>{1, 2, 3});
+  const QSet b = QSet::threshold_of(2, std::vector<ProcessId>{1, 2, 3});
+  const QSet c = QSet::threshold_of(1, std::vector<ProcessId>{1, 2, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.to_string(), "2-of-[1, 2, 3]");
+}
+
+}  // namespace
+}  // namespace scup::fbqs

@@ -1,0 +1,94 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace scup {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+    const auto v = rng.uniform_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_range(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, SampleIdsDistinctAndInRange) {
+  Rng rng(5);
+  auto ids = rng.sample_ids(20, 7);
+  EXPECT_EQ(ids.size(), 7u);
+  std::set<ProcessId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 7u);
+  for (ProcessId id : ids) EXPECT_LT(id, 20u);
+  EXPECT_THROW(rng.sample_ids(3, 4), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SplitIndependence) {
+  Rng a(13);
+  Rng b = a.split();
+  // The split stream should not replay the parent stream.
+  int same = 0;
+  Rng a2(13);
+  (void)a2.next_u64();  // advance past the split draw
+  for (int i = 0; i < 64; ++i) {
+    if (b.next_u64() == a2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, HashMixDeterministicAndSpread) {
+  EXPECT_EQ(hash_mix(1, 2, 3), hash_mix(1, 2, 3));
+  EXPECT_NE(hash_mix(1, 2, 3), hash_mix(1, 2, 4));
+  EXPECT_NE(hash_mix(0), hash_mix(1));
+}
+
+}  // namespace
+}  // namespace scup

@@ -1,0 +1,145 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace scup::graph {
+namespace {
+
+TEST(SccTest, SingleNode) {
+  Digraph g(1);
+  const auto r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count(), 1);
+  EXPECT_EQ(r.components[0], NodeSet(1, {0}));
+}
+
+TEST(SccTest, Cycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const auto r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count(), 1);
+  EXPECT_EQ(r.components[0].count(), 3u);
+}
+
+TEST(SccTest, Chain) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count(), 3);
+  // Each node its own component.
+  for (ProcessId i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.components[r.comp_of[i]], NodeSet(3, {i}));
+  }
+}
+
+TEST(SccTest, TwoCyclesBridged) {
+  Digraph g(6);
+  // cycle A: 0-1-2, cycle B: 3-4-5, bridge 2->3
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);
+  const auto r = strongly_connected_components(g);
+  EXPECT_EQ(r.component_count(), 2);
+  EXPECT_EQ(r.comp_of[0], r.comp_of[1]);
+  EXPECT_EQ(r.comp_of[1], r.comp_of[2]);
+  EXPECT_EQ(r.comp_of[3], r.comp_of[4]);
+  EXPECT_NE(r.comp_of[0], r.comp_of[3]);
+}
+
+TEST(SccTest, RespectsActiveMask) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto r = strongly_connected_components(g, NodeSet(3, {0, 2}));
+  // Node 1 inactive: 0 and 2 are separate singletons; 1 unassigned.
+  EXPECT_EQ(r.component_count(), 2);
+  EXPECT_EQ(r.comp_of[1], -1);
+}
+
+TEST(CondensationTest, SinkDetection) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);  // A -> B, so B is the sink
+  const auto c = condense(g);
+  ASSERT_EQ(c.sink_components.size(), 1u);
+  EXPECT_EQ(c.scc.components[c.sink_components[0]], NodeSet(6, {3, 4, 5}));
+  EXPECT_EQ(unique_sink_component(g), NodeSet(6, {3, 4, 5}));
+}
+
+TEST(CondensationTest, MultipleSinks) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);  // 3 is one sink, 2 is another
+  const auto c = condense(g);
+  EXPECT_EQ(c.sink_components.size(), 2u);
+  // unique_sink_component returns empty when ambiguous.
+  EXPECT_TRUE(unique_sink_component(g).empty());
+  EXPECT_EQ(c.sink_members(4), NodeSet(4, {2, 3}));
+}
+
+TEST(CondensationTest, Fig1SinkIsPaperSink) {
+  EXPECT_EQ(unique_sink_component(fig1_graph()), fig1_sink());
+}
+
+TEST(CondensationTest, Fig2SinkIsPaperSink) {
+  EXPECT_EQ(unique_sink_component(fig2_graph()), fig2_sink());
+}
+
+TEST(WeakConnectivityTest, ConnectedAndDisconnected) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(3, 2);
+  EXPECT_TRUE(is_weakly_connected(g, NodeSet::full(4)));
+  Digraph h(4);
+  h.add_edge(0, 1);
+  h.add_edge(2, 3);
+  EXPECT_FALSE(is_weakly_connected(h, NodeSet::full(4)));
+  // Restricting to one side makes it connected again.
+  EXPECT_TRUE(is_weakly_connected(h, NodeSet(4, {0, 1})));
+  // Empty active set is vacuously connected.
+  EXPECT_TRUE(is_weakly_connected(h, NodeSet(4)));
+}
+
+// Property: on random graphs, mutual reachability defines the same
+// equivalence classes as Tarjan.
+class SccPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SccPropertyTest, MatchesMutualReachability) {
+  const Digraph g = random_digraph(24, 0.08, GetParam());
+  const auto r = strongly_connected_components(g);
+  const std::size_t n = g.node_count();
+  std::vector<NodeSet> reach;
+  reach.reserve(n);
+  for (ProcessId i = 0; i < n; ++i) reach.push_back(g.reachable_from(i));
+  for (ProcessId i = 0; i < n; ++i) {
+    for (ProcessId j = 0; j < n; ++j) {
+      const bool mutual = reach[i].contains(j) && reach[j].contains(i);
+      EXPECT_EQ(mutual, r.comp_of[i] == r.comp_of[j])
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace scup::graph

@@ -1,0 +1,112 @@
+#include "fbqs/slices.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scup::fbqs {
+namespace {
+
+TEST(SliceSetTest, ExplicitSatisfaction) {
+  const SliceSet s = SliceSet::explicit_slices(
+      {NodeSet(6, {1, 2}), NodeSet(6, {3, 4, 5})});
+  EXPECT_TRUE(s.satisfied_within(NodeSet(6, {0, 1, 2})));
+  EXPECT_TRUE(s.satisfied_within(NodeSet(6, {3, 4, 5})));
+  EXPECT_FALSE(s.satisfied_within(NodeSet(6, {1, 3, 4})));
+  EXPECT_FALSE(s.satisfied_within(NodeSet(6)));
+  EXPECT_FALSE(s.is_threshold());
+  EXPECT_EQ(s.slice_count(), 2u);
+}
+
+TEST(SliceSetTest, EmptySliceRejected) {
+  EXPECT_THROW(SliceSet::explicit_slices({NodeSet(4)}), std::invalid_argument);
+}
+
+TEST(SliceSetTest, ThresholdSatisfaction) {
+  // All 2-subsets of {0,1,2,3}.
+  const SliceSet s = SliceSet::threshold(2, NodeSet(6, {0, 1, 2, 3}));
+  EXPECT_TRUE(s.is_threshold());
+  EXPECT_EQ(s.threshold_m(), 2u);
+  EXPECT_TRUE(s.satisfied_within(NodeSet(6, {0, 3})));
+  EXPECT_TRUE(s.satisfied_within(NodeSet(6, {1, 2, 5})));
+  EXPECT_FALSE(s.satisfied_within(NodeSet(6, {0, 4, 5})));
+  EXPECT_EQ(s.slice_count(), 6u);  // C(4,2)
+}
+
+TEST(SliceSetTest, ThresholdValidation) {
+  EXPECT_THROW(SliceSet::threshold(0, NodeSet(4, {1})), std::invalid_argument);
+  EXPECT_THROW(SliceSet::threshold(3, NodeSet(4, {1, 2})),
+               std::invalid_argument);
+  // m == |members| is fine (single slice).
+  const SliceSet s = SliceSet::threshold(2, NodeSet(4, {1, 2}));
+  EXPECT_EQ(s.slice_count(), 1u);
+}
+
+TEST(SliceSetTest, BlockedBy) {
+  const SliceSet threshold = SliceSet::threshold(3, NodeSet(8, {0, 1, 2, 3}));
+  // A slice avoiding B exists iff >= 3 members survive.
+  EXPECT_FALSE(threshold.blocked_by(NodeSet(8, {0})));
+  EXPECT_TRUE(threshold.blocked_by(NodeSet(8, {0, 1})));
+  EXPECT_TRUE(threshold.has_slice_avoiding(NodeSet(8, {3})));
+
+  const SliceSet expl = SliceSet::explicit_slices(
+      {NodeSet(8, {1, 2}), NodeSet(8, {2, 3})});
+  EXPECT_TRUE(expl.blocked_by(NodeSet(8, {2})));       // 2 is in every slice
+  EXPECT_FALSE(expl.blocked_by(NodeSet(8, {1})));      // {2,3} avoids
+}
+
+TEST(SliceSetTest, Lemma2Check) {
+  // Lemma 2: process must have a slice avoiding every candidate faulty set
+  // of size <= f. Threshold family m-of-V survives any f faults iff
+  // |V| - f >= m.
+  const NodeSet v(10, {0, 1, 2, 3, 4});
+  const SliceSet s = SliceSet::threshold(3, v);
+  // f = 2: |V| - 2 = 3 >= 3 ok for any B of size 2.
+  EXPECT_TRUE(s.has_slice_avoiding(NodeSet(10, {0, 1})));
+  EXPECT_TRUE(s.has_slice_avoiding(NodeSet(10, {3, 4})));
+  // f = 3 violates.
+  EXPECT_FALSE(s.has_slice_avoiding(NodeSet(10, {0, 1, 2})));
+}
+
+TEST(SliceSetTest, UnionOfMembers) {
+  const SliceSet expl = SliceSet::explicit_slices(
+      {NodeSet(6, {1, 2}), NodeSet(6, {2, 5})});
+  EXPECT_EQ(expl.union_of_members(6), NodeSet(6, {1, 2, 5}));
+  const SliceSet thr = SliceSet::threshold(1, NodeSet(6, {0, 4}));
+  EXPECT_EQ(thr.union_of_members(6), NodeSet(6, {0, 4}));
+}
+
+TEST(SliceSetTest, SliceCountBinomialSaturation) {
+  NodeSet big(128);
+  for (ProcessId i = 0; i < 128; ++i) big.add(i);
+  const SliceSet s = SliceSet::threshold(64, big);
+  EXPECT_EQ(s.slice_count(), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(SliceSetTest, AccessorsThrowOnWrongKind) {
+  const SliceSet thr = SliceSet::threshold(1, NodeSet(4, {0}));
+  EXPECT_THROW((void)thr.explicit_list(), std::logic_error);
+  const SliceSet expl = SliceSet::explicit_slices({NodeSet(4, {0})});
+  EXPECT_THROW((void)expl.threshold_m(), std::logic_error);
+  EXPECT_THROW((void)expl.threshold_members(), std::logic_error);
+}
+
+TEST(SliceSetTest, ToQSetEquivalence) {
+  // The QSet conversion must satisfy exactly the same sets.
+  const SliceSet thr = SliceSet::threshold(2, NodeSet(5, {0, 1, 2, 3}));
+  const QSet q_thr = thr.to_qset();
+  const SliceSet expl = SliceSet::explicit_slices(
+      {NodeSet(5, {0, 1}), NodeSet(5, {2, 3, 4})});
+  const QSet q_expl = expl.to_qset();
+  for (std::uint32_t mask = 0; mask < 32; ++mask) {
+    NodeSet test(5);
+    for (ProcessId b = 0; b < 5; ++b) {
+      if ((mask >> b) & 1u) test.add(b);
+    }
+    EXPECT_EQ(thr.satisfied_within(test), q_thr.satisfied_by(test))
+        << test.to_string();
+    EXPECT_EQ(expl.satisfied_within(test), q_expl.satisfied_by(test))
+        << test.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace scup::fbqs
