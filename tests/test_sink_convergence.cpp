@@ -83,7 +83,9 @@ TEST(ScenarioHarnessTest, ValuesVectorRespected) {
 TEST(ScenarioHarnessTest, DefaultValuesAreDistinctAndNonZero) {
   for (ProcessId i = 0; i < 100; ++i) {
     EXPECT_NE(default_value(i), kNoValue);
-    if (i > 0) EXPECT_NE(default_value(i), default_value(i - 1));
+    if (i > 0) {
+      EXPECT_NE(default_value(i), default_value(i - 1));
+    }
   }
 }
 
