@@ -7,6 +7,7 @@
 #include "bftcup/bftcup_node.hpp"
 #include "core/adversaries.hpp"
 #include "core/stellar_cup_node.hpp"
+#include "graph/generators.hpp"
 #include "graph/scc.hpp"
 
 namespace scup::core {
@@ -168,6 +169,44 @@ ScenarioReport run_scenario(const ScenarioConfig& config) {
   report.metrics = sim.metrics();
   report.end_time = sim.now();
   return report;
+}
+
+ScenarioConfig large_scale_scenario(const LargeScaleParams& params) {
+  if (params.n < 4 * params.f + 2) {
+    throw std::invalid_argument(
+        "large_scale_scenario: need n >= 4f+2 (sink of 3f+1 plus at least "
+        "f+1 non-sink processes)");
+  }
+  const auto fraction_size =
+      static_cast<std::size_t>(static_cast<double>(params.n) *
+                               params.sink_fraction);
+  const std::size_t sink_size =
+      std::clamp(fraction_size, 3 * params.f + 1, params.n - 1);
+
+  graph::KosrGenParams gen;
+  gen.sink_size = sink_size;
+  gen.non_sink_size = params.n - sink_size;
+  gen.k = 2 * params.f + 1;
+  gen.seed = params.seed;
+
+  ScenarioConfig cfg;
+  cfg.graph = graph::random_kosr_graph(gen);
+  cfg.f = params.f;
+  cfg.faulty = NodeSet(params.n);
+  if (params.with_faults && params.f > 0) {
+    Rng rng(params.seed ^ 0xfa17ULL);
+    cfg.faulty = graph::pick_safe_faulty_set(
+        cfg.graph, graph::unique_sink_component(cfg.graph), params.f,
+        /*allow_in_sink=*/true, rng);
+  }
+  cfg.protocol = params.protocol;
+  cfg.net.seed = params.seed * 31 + 7;
+  cfg.net.min_delay = 1;
+  cfg.net.max_delay = 10;
+  // Discovery alone costs O(n) message rounds; scale the deadline with n so
+  // large instances are bounded by correctness, not by an arbitrary cap.
+  cfg.deadline = 1'000'000 + static_cast<SimTime>(params.n) * 50'000;
+  return cfg;
 }
 
 std::string ScenarioReport::summary() const {

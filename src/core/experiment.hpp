@@ -69,4 +69,19 @@ ScenarioReport run_scenario(const ScenarioConfig& config);
 /// Proposal value used for process i in a scenario (when values is empty).
 Value default_value(ProcessId i);
 
+/// Large-n scenario family (E11, `bench_scale_discovery`): a k-OSR graph at
+/// discovery scale with k = 2f+1, a sink of ~`sink_fraction`·n members
+/// (floored at 3f+1 so a safe faulty placement exists), and an optional
+/// worst-case in-sink failure set. The same family backs the scale tests,
+/// so benches and tests sweep identical graphs.
+struct LargeScaleParams {
+  std::size_t n = 256;
+  std::size_t f = 1;
+  double sink_fraction = 0.5;
+  std::uint64_t seed = 1;
+  ProtocolKind protocol = ProtocolKind::kBftCup;
+  bool with_faults = true;
+};
+ScenarioConfig large_scale_scenario(const LargeScaleParams& params);
+
 }  // namespace scup::core

@@ -1,6 +1,8 @@
 #include "cup/sink_discovery.hpp"
 
-#include "graph/disjoint_paths.hpp"
+#include <map>
+
+#include "graph/dominators.hpp"
 
 namespace scup::cup {
 
@@ -9,11 +11,14 @@ SinkDiscovery::SinkDiscovery(sim::ProtocolHost& host, NodeSet pd)
       pd_(std::move(pd)),
       f_(host.fault_threshold()),
       cert_graph_(pd_.universe_size()),
+      new_edge_heads_(pd_.universe_size()),
       admitted_(pd_.universe_size()),
       candidate_(pd_.universe_size()),
       queried_(pd_.universe_size()),
       responded_(pd_.universe_size()),
-      last_published_(pd_.universe_size()) {}
+      last_published_(pd_.universe_size()),
+      neg_cuts_(pd_.universe_size()),
+      prev_reachable_(pd_.universe_size()) {}
 
 void SinkDiscovery::start() {
   merge_certificate(own_cert());
@@ -26,7 +31,7 @@ bool SinkDiscovery::handle(ProcessId from, const sim::Message& msg) {
     responded_.add(from);
     // Reply with everything we hold (knowledge flows backward along the
     // query; certificates are forwardable because they are signed).
-    host_.host_send(from, sim::make_message<CertGossipMsg>(certs_));
+    host_.host_send(from, gossip_reply());
     update();
     return true;
   }
@@ -47,6 +52,16 @@ bool SinkDiscovery::handle(ProcessId from, const sim::Message& msg) {
   return false;
 }
 
+sim::MessagePtr SinkDiscovery::gossip_reply() {
+  // The reply is immutable and identical for every requester until the next
+  // certificate change, so one shared message serves all of them (the
+  // per-DISCOVER map copy used to dominate large-n discovery cost).
+  if (!cached_gossip_) {
+    cached_gossip_ = sim::make_message<CertGossipMsg>(certs_);
+  }
+  return cached_gossip_;
+}
+
 void SinkDiscovery::merge_certificate(const PdCertificate& cert) {
   if (cert.owner == kInvalidProcess || cert.owner >= host_.universe() ||
       cert.pd.universe_size() != host_.universe()) {
@@ -60,10 +75,12 @@ void SinkDiscovery::merge_certificate(const PdCertificate& cert) {
     if (merged == it->second) return;  // nothing new
     it->second = merged;
   }
+  cached_gossip_.reset();
   for (ProcessId target : it->second) {
     if (!cert_graph_.has_edge(cert.owner, target)) {
       cert_graph_.add_edge(cert.owner, target);
-      graph_dirty_ = true;
+      new_edge_heads_.add(target);
+      new_edges_.emplace_back(cert.owner, target);
     }
   }
 }
@@ -77,39 +94,169 @@ void SinkDiscovery::merge_certificates(
 
 void SinkDiscovery::update() {
   if (finished_) return;
-  const ProcessId self = host_.self();
-
-  if (graph_dirty_ || candidate_.empty()) {
-    graph_dirty_ = false;
-
-    // Plain reachability bounds both the query set and the f-reachability
-    // candidates (f-reachable implies reachable).
-    const NodeSet reachable = cert_graph_.reachable_from(self);
-
-    // Query everything reachable — their certificates may be needed to
-    // certify disjoint paths — even nodes not (yet) admitted.
-    for (ProcessId j : reachable) {
-      if (j == self || queried_.contains(j)) continue;
-      queried_.add(j);
-      host_.host_send(j, sim::make_message<DiscoverMsg>(own_cert()));
-    }
-
-    // Candidate set: self, own PD (trusted oracle output), and every node
-    // f-reachable in the certified graph (Definition 9). Both the graph and
-    // the property are monotone, so previously admitted nodes stay.
-    for (ProcessId j : reachable) {
-      if (admitted_.contains(j) || j == self || pd_.contains(j)) continue;
-      if (graph::has_k_vertex_disjoint_paths(cert_graph_, self, j, f_ + 1,
-                                             reachable)) {
-        admitted_.add(j);
-      }
-    }
-    candidate_ = admitted_ | pd_;
-    candidate_.add(self);
+  ++stats_.updates;
+  if (!new_edge_heads_.empty() || candidate_.empty()) {
+    recheck_admissions();
   }
-
   maybe_publish_known();
   check_match();
+}
+
+void SinkDiscovery::recheck_admissions() {
+  const ProcessId self = host_.self();
+  ++stats_.dirty_updates;
+  if (!new_edges_.empty()) ++stats_.cert_epoch;
+
+  // Plain reachability bounds both the query set and the f-reachability
+  // candidates (f-reachable implies reachable).
+  const NodeSet reachable = cert_graph_.reachable_from(self);
+
+  // Query everything reachable — their certificates may be needed to
+  // certify disjoint paths — even nodes not (yet) admitted. One immutable
+  // query message serves every target (the certificate payload is
+  // identical).
+  sim::MessagePtr discover;
+  for (ProcessId j : reachable) {
+    if (j == self || queried_.contains(j)) continue;
+    queried_.add(j);
+    if (!discover) discover = sim::make_message<DiscoverMsg>(own_cert());
+    host_.host_send(j, discover);
+  }
+
+  // Candidate set: self, own PD (trusted oracle output), and every node
+  // f-reachable in the certified graph (Definition 9). Both the graph and
+  // the property are monotone, so previously admitted nodes stay — and a
+  // cached *negative* verdict stays valid until new knowledge can reach the
+  // node: only nodes downstream of this batch's new edge heads are
+  // re-evaluated. (A path created by a new edge (u, v) ends with a v→…→j
+  // suffix, so j is reachable from v; the same argument covers nodes that
+  // became reachable or gained active interior nodes since the last check.)
+  const NodeSet affected =
+      cert_graph_.reachable_from_any(new_edge_heads_, reachable);
+  new_edge_heads_.clear();
+
+  // Nodes that became reachable bring their previously-inactive in-edges
+  // into the network; treat those as part of this batch for the
+  // cut-crossing test below.
+  for (ProcessId w : reachable) {
+    if (prev_reachable_.contains(w)) continue;
+    for (ProcessId p : cert_graph_.predecessors(w)) {
+      new_edges_.emplace_back(p, w);
+    }
+  }
+  prev_reachable_ = reachable;
+
+  // A cached failure certificate stays conclusive unless some new edge
+  // jumps from its source side past its separator (then a path avoiding
+  // the old cut may exist and the node must be re-evaluated). Every cached
+  // cut must be tested against every batch — a node can sit outside this
+  // batch's `affected` set (sound: no new path reaches it yet) while a
+  // crossing edge already voids its certificate for a later batch.
+  const auto cut_still_separates =
+      [this](const graph::DisjointPathEngine::VertexCut& cut) {
+        for (const auto& [tail, head] : new_edges_) {
+          if (cut.source_side.contains(tail) &&
+              !cut.source_side.contains(head) && !cut.cut.contains(head)) {
+            return false;
+          }
+        }
+        return true;
+      };
+  if (!new_edges_.empty()) {
+    for (auto& cut : neg_cuts_) {
+      if (cut && !cut_still_separates(*cut)) cut.reset();
+    }
+  }
+
+  // Menger bound at the source: f+1 disjoint paths leave self through f+1
+  // distinct certified out-edges.
+  std::size_t self_out_degree = 0;
+  for (ProcessId x : cert_graph_.successors(self)) {
+    if (reachable.contains(x)) ++self_out_degree;
+  }
+  const bool source_can_admit = self_out_degree >= f_ + 1;
+
+  bool engine_ready = false;
+  bool domtree_ready = false;
+  std::vector<ProcessId> idom;
+  std::map<ProcessId, NodeSet> dom_subtrees;  // separator -> dominated set
+  for (ProcessId j : reachable) {
+    if (admitted_.contains(j) || j == self || pd_.contains(j)) continue;
+    // The pre-incremental algorithm re-ran the max-flow check here
+    // unconditionally; count what it would have cost (E11's baseline).
+    ++stats_.flow_evals_baseline;
+    if (!affected.contains(j)) {
+      ++stats_.memoized_skips;
+      continue;
+    }
+    // Menger bound at the target: f+1 disjoint paths arrive over f+1
+    // distinct certified in-edges from active nodes.
+    std::size_t in_degree = 0;
+    if (source_can_admit) {
+      for (ProcessId p : cert_graph_.predecessors(j)) {
+        if (reachable.contains(p) && ++in_degree > f_) break;
+      }
+    }
+    if (in_degree < f_ + 1) {
+      ++stats_.degree_prunes;
+      continue;
+    }
+    if (neg_cuts_[j]) {  // surviving certificate: verdict still negative
+      ++stats_.cut_skips;
+      continue;
+    }
+    if (f_ == 0) {
+      // One path suffices and j is reachable by construction of the loop.
+      admitted_.add(j);
+      neg_cuts_[j].reset();
+      continue;
+    }
+    if (f_ == 1 && !cert_graph_.has_edge(self, j)) {
+      // Menger for k = 2, single source: a non-adjacent j has two
+      // internally-disjoint paths from self iff its only proper dominator
+      // is self. One dominator pass decides every pending node this
+      // update; a certified direct edge self → j (only forged self
+      // certificates create one, since honest self edges are exactly
+      // pd_) falls through to the exact max-flow path.
+      if (!domtree_ready) {
+        idom = graph::immediate_dominators(cert_graph_, self, reachable);
+        ++stats_.domtree_passes;
+        domtree_ready = true;
+      }
+      if (idom[j] == self) {
+        admitted_.add(j);
+        neg_cuts_[j].reset();
+      } else {
+        // idom(j) is a one-vertex separator: cache it like a flow-derived
+        // cut so j is not reconsidered until an edge bypasses it.
+        const ProcessId c = idom[j];
+        auto it = dom_subtrees.find(c);
+        if (it == dom_subtrees.end()) {
+          it = dom_subtrees
+                   .emplace(c, graph::dominated_by(idom, self, c,
+                                                   pd_.universe_size()))
+                   .first;
+        }
+        neg_cuts_[j] = graph::DisjointPathEngine::VertexCut{
+            reachable - it->second, NodeSet(pd_.universe_size(), {c})};
+      }
+      continue;
+    }
+    if (!engine_ready) {
+      path_engine_.prepare(cert_graph_, reachable);
+      engine_ready = true;
+    }
+    ++stats_.flow_evals;
+    if (path_engine_.has_k_paths(self, j, f_ + 1)) {
+      admitted_.add(j);
+      neg_cuts_[j].reset();
+    } else {
+      neg_cuts_[j] = path_engine_.extract_cut(self, j);
+    }
+  }
+  new_edges_.clear();
+  candidate_ = admitted_ | pd_;
+  candidate_.add(self);
 }
 
 void SinkDiscovery::maybe_publish_known() {
@@ -132,14 +279,16 @@ void SinkDiscovery::check_match() {
   if (finished_ || !published_once_) return;
 
   // Step 3: count members of our candidate set whose latest KNOWN equals
-  // it (ourselves included) and processes that disagree. Outsider echoes
-  // are meaningless: the claim is that the candidate set is a
-  // self-contained sink, so only its members' views matter.
+  // it (ourselves included) and members that disagree. Outsider echoes
+  // are meaningless either way: the claim is that the candidate set is a
+  // self-contained sink, so only its members' views matter — in particular
+  // f+1 chatty non-members must not be able to raise probably_non_sink_.
   std::size_t matching = 1;  // self
   std::size_t different = 0;
   for (const auto& [sender, known] : latest_known_) {
+    if (!candidate_.contains(sender)) continue;
     if (known == candidate_) {
-      if (candidate_.contains(sender)) ++matching;
+      ++matching;
     } else {
       ++different;
     }

@@ -22,17 +22,67 @@
 //     never succeeds (their candidate strictly contains the sink, whose
 //     members report differently); they rely on Algorithm 3's indirect
 //     path.
+//
+// Incremental admission (the discovery→consensus hot path): the certified
+// graph and the f-reachability property are both monotone, so an admission
+// verdict only needs re-evaluation when the certificate batch since the
+// last update() could have created a new path to the node. update() keeps a
+// dirty set of new-edge heads and re-checks only nodes downstream of them
+// (everything else keeps its memoized verdict from the epoch it was last
+// evaluated at), applies Menger's degree bounds before paying for a real
+// evaluation, caches a vertex-separator certificate for every negative
+// verdict (re-evaluated only when an edge crosses its frontier), and for
+// f = 1 decides whole batches with one dominator-tree pass (idom(j) == self
+// ⟺ two disjoint paths, graph/dominators.hpp) instead of per-node
+// max-flows. The remaining max-flow runs share one prepared flow network
+// per update (graph::DisjointPathEngine). DiscoveryStats counts both the
+// evaluations actually run and what a recompute-everything baseline would
+// have run; bench_scale_discovery (E11) reports the ratio.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/node_set.hpp"
 #include "cup/messages.hpp"
 #include "graph/digraph.hpp"
+#include "graph/disjoint_paths.hpp"
 #include "sim/host.hpp"
 
 namespace scup::cup {
+
+/// Admission-work counters for one SinkDiscovery instance (E11).
+struct DiscoveryStats {
+  /// Max-flow disjoint-path evaluations actually run.
+  std::uint64_t flow_evals = 0;
+  /// Evaluations the pre-incremental algorithm would have run: one per
+  /// reachable, not-yet-admitted node per dirty update. Directly comparable
+  /// with flow_evals because both algorithms admit identical sets (the
+  /// property is monotone and the dirty set over-approximates the nodes a
+  /// batch can affect).
+  std::uint64_t flow_evals_baseline = 0;
+  /// Evaluations skipped because the node was not downstream of any new
+  /// edge (its memoized verdict from an earlier epoch is still valid).
+  std::uint64_t memoized_skips = 0;
+  /// Evaluations skipped by Menger's bound (fewer than f+1 active
+  /// in-neighbours means f+1 disjoint paths cannot exist).
+  std::uint64_t degree_prunes = 0;
+  /// Evaluations skipped because a cached vertex-cut certificate from an
+  /// earlier failed evaluation still separates the node (no new edge
+  /// crossed its frontier).
+  std::uint64_t cut_skips = 0;
+  /// Dominator-tree passes run for f = 1 batch admission. One pass decides
+  /// every pending node at once (idom(j) == self ⟺ two disjoint paths for
+  /// non-adjacent j), so it replaces up to |reachable| max-flow runs.
+  std::uint64_t domtree_passes = 0;
+  std::uint64_t updates = 0;        // update() invocations
+  std::uint64_t dirty_updates = 0;  // updates with new certified edges
+  std::uint64_t cert_epoch = 0;     // number of new-edge batches merged
+};
 
 class SinkDiscovery {
  public:
@@ -50,14 +100,17 @@ class SinkDiscovery {
   bool finished() const { return finished_; }
   const NodeSet& sink() const { return candidate_; }
 
-  /// True once >= f+1 processes published KNOWN sets different from ours —
-  /// strong evidence of being a non-sink member (informational; the
-  /// indirect path provides the actual sink).
+  /// True once >= f+1 *candidate members* published KNOWN sets different
+  /// from ours — strong evidence of being a non-sink member (informational;
+  /// the indirect path provides the actual sink). Non-members' reports are
+  /// ignored: the claim under test is that the candidate set is a
+  /// self-contained sink, so only its members' views bear on it.
   bool probably_non_sink() const { return probably_non_sink_; }
 
   const NodeSet& candidate_set() const { return candidate_; }
   const std::map<ProcessId, NodeSet>& certificates() const { return certs_; }
   const graph::Digraph& certified_graph() const { return cert_graph_; }
+  const DiscoveryStats& stats() const { return stats_; }
 
   /// Invoked exactly once when step 3 succeeds.
   std::function<void()> on_complete;
@@ -65,11 +118,13 @@ class SinkDiscovery {
  private:
   void merge_certificate(const PdCertificate& cert);
   void merge_certificates(const std::map<ProcessId, NodeSet>& certs);
-  /// Recomputes the candidate set (f-reachability), queries newly reachable
-  /// nodes, and re-evaluates steps 2-3.
+  /// Queries newly reachable nodes, re-evaluates admission for nodes the
+  /// new-edge batch can affect, and re-evaluates steps 2-3.
   void update();
+  void recheck_admissions();
   void maybe_publish_known();
   void check_match();
+  sim::MessagePtr gossip_reply();
   PdCertificate own_cert() const { return {host_.self(), pd_}; }
 
   sim::ProtocolHost& host_;
@@ -78,7 +133,12 @@ class SinkDiscovery {
 
   std::map<ProcessId, NodeSet> certs_;  // owner -> claimed PD (union-merged)
   graph::Digraph cert_graph_;           // the certified knowledge graph
-  bool graph_dirty_ = false;            // new edges since last update()
+  /// Heads (targets) of edges added since the last admission recheck; the
+  /// nodes they can reach are exactly the nodes whose verdict may change.
+  NodeSet new_edge_heads_;
+  /// The same batch as (tail, head) pairs, for the per-edge cut-crossing
+  /// test against cached negative verdicts.
+  std::vector<std::pair<ProcessId, ProcessId>> new_edges_;
 
   NodeSet admitted_;  // f-reachability is monotone; cache positives
   NodeSet candidate_;
@@ -89,6 +149,23 @@ class SinkDiscovery {
   bool published_once_ = false;
   bool finished_ = false;
   bool probably_non_sink_ = false;
+
+  graph::DisjointPathEngine path_engine_;  // scratch reused across updates
+  /// Per-node cut certificate from the last failed evaluation (empty
+  /// optional: never evaluated, or admitted). Invalidated only by an edge
+  /// crossing its frontier, so permanently-unreachable nodes stop costing
+  /// max-flow runs after their first failure.
+  std::vector<std::optional<graph::DisjointPathEngine::VertexCut>> neg_cuts_;
+  /// Reachability as of the last recheck; nodes that became reachable since
+  /// act like new edges for cut invalidation (their previously-inactive
+  /// in-edges just joined the network).
+  NodeSet prev_reachable_;
+  /// Gossip replies carry the whole certificate map; the map only changes
+  /// when a certificate merge does (which resets this), so one immutable
+  /// message per certificate state is shared by every reply instead of
+  /// re-copying the map per DISCOVER.
+  sim::MessagePtr cached_gossip_;
+  DiscoveryStats stats_;
 };
 
 }  // namespace scup::cup

@@ -39,14 +39,27 @@ bool FbqsSystem::is_quorum_for(ProcessId i, const NodeSet& q) const {
 }
 
 NodeSet FbqsSystem::quorum_closure(NodeSet candidate) const {
+  if (candidate.universe_size() != n_) {
+    throw std::invalid_argument(
+        "FbqsSystem::quorum_closure: candidate universe " +
+        std::to_string(candidate.universe_size()) + " does not match n=" +
+        std::to_string(n_));
+  }
+  // Collect a pass's removals first, then apply them: every member is
+  // judged against the same start-of-pass set, and the iteration never
+  // walks a set that is mutating under it.
   bool changed = true;
   while (changed) {
     changed = false;
+    NodeSet removals(n_);
     for (ProcessId i : candidate) {
       if (!has_slices_[i] || !slices_[i].satisfied_within(candidate)) {
-        candidate.remove(i);
-        changed = true;
+        removals.add(i);
       }
+    }
+    if (!removals.empty()) {
+      candidate -= removals;
+      changed = true;
     }
   }
   return candidate;
@@ -116,7 +129,6 @@ FbqsSystem::IntertwinedReport FbqsSystem::check_intertwined(
     const NodeSet& group, std::size_t f, std::size_t max_universe) const {
   IntertwinedReport report;
   report.ok = true;
-  report.min_intersection = n_ + 1;
 
   // Precompute minimal quorums once per member.
   std::vector<std::pair<ProcessId, std::vector<NodeSet>>> quorums;
@@ -129,14 +141,16 @@ FbqsSystem::IntertwinedReport FbqsSystem::check_intertwined(
       return report;
     }
   }
+  std::size_t min_intersection = n_ + 1;  // strictly above any real value
   for (const auto& [i, qi] : quorums) {
     for (const auto& [j, qj] : quorums) {
       if (j < i) continue;
       for (const NodeSet& a : qi) {
         for (const NodeSet& b : qj) {
           const std::size_t inter = a.intersection_count(b);
-          if (inter < report.min_intersection) {
-            report.min_intersection = inter;
+          ++report.pairs_examined;
+          if (inter < min_intersection) {
+            min_intersection = inter;
             report.worst_i = i;
             report.worst_j = j;
           }
@@ -145,6 +159,9 @@ FbqsSystem::IntertwinedReport FbqsSystem::check_intertwined(
       }
     }
   }
+  // A group with no quorum pairs (empty group) is vacuously intertwined;
+  // report 0 rather than leaking the n+1 search sentinel.
+  report.min_intersection = report.pairs_examined == 0 ? 0 : min_intersection;
   return report;
 }
 

@@ -61,14 +61,24 @@ class FbqsSystem {
   bool intertwined(ProcessId i, ProcessId j, std::size_t f,
                    std::size_t max_universe = 20) const;
 
-  /// Checks that every pair of processes in `group` is intertwined, and
-  /// returns the smallest pairwise quorum intersection observed (so callers
-  /// can report the margin). Returns false via .ok when some pair violates.
+  /// Checks that every pair of processes in `group` is intertwined
+  /// (including each member with itself — two quorums of one process must
+  /// also intersect in more than f), and returns the smallest pairwise
+  /// quorum intersection observed so callers can report the margin.
+  /// Returns false via .ok when some pair violates, or when some member has
+  /// no quorum at all (then min_intersection is 0 and worst_i == worst_j
+  /// names that member). An empty group examines no pairs and is vacuously
+  /// ok with min_intersection == 0 and worst_i/worst_j == kInvalidProcess;
+  /// a singleton group examines exactly its self-pairs. min_intersection is
+  /// always either 0 (no pairs) or a realized intersection size — never an
+  /// out-of-band sentinel.
   struct IntertwinedReport {
     bool ok = false;
     std::size_t min_intersection = 0;  // over all quorum pairs examined
     ProcessId worst_i = kInvalidProcess;
     ProcessId worst_j = kInvalidProcess;
+    std::size_t pairs_examined = 0;  // quorum pairs compared (0 for an empty
+                                     // group or a quorum-less-member return)
   };
   IntertwinedReport check_intertwined(const NodeSet& group, std::size_t f,
                                       std::size_t max_universe = 20) const;

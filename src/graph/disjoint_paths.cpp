@@ -2,121 +2,176 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
-#include <vector>
 
 namespace scup::graph {
 
-namespace {
+// Flow-network layout: graph node w becomes w_in = 2w and w_out = 2w + 1.
+// The split arc w_in -> w_out carries capacity 1 (raised to `big_` for the
+// query endpoints); original edge (u, v) becomes u_out -> v_in with
+// capacity 1. Arcs are stored with their reverse arc at index ^1.
 
-/// Dinic max-flow on a unit-capacity network built with vertex splitting.
-/// Node 2w = w_in, 2w+1 = w_out. Edge w_in->w_out has capacity 1 (or "inf"
-/// for the endpoints), original edge (u, v) becomes u_out -> v_in with
-/// capacity 1.
-class UnitFlow {
- public:
-  explicit UnitFlow(std::size_t node_count) : head_(node_count, -1) {}
+void DisjointPathEngine::prepare(const Digraph& g, const NodeSet& active) {
+  n_ = g.node_count();
+  big_ = static_cast<int>(n_) + 1;
+  active_ = active;
+  arcs_.clear();
+  base_cap_.clear();
+  head_.assign(2 * n_, -1);
+  split_arc_.assign(n_, -1);
 
-  void add_edge(int u, int v, int cap) {
-    edges_.push_back({v, head_[u], cap});
-    head_[u] = static_cast<int>(edges_.size()) - 1;
-    edges_.push_back({u, head_[v], 0});
-    head_[v] = static_cast<int>(edges_.size()) - 1;
-  }
-
-  /// Computes max-flow from s to t, stopping early once flow >= limit.
-  std::size_t max_flow(int s, int t, std::size_t limit) {
-    std::size_t flow = 0;
-    while (flow < limit && bfs(s, t)) {
-      iter_ = head_;
-      while (flow < limit) {
-        const int pushed = dfs(s, t, std::numeric_limits<int>::max());
-        if (pushed == 0) break;
-        flow += static_cast<std::size_t>(pushed);
-      }
-    }
-    return flow;
-  }
-
- private:
-  struct Edge {
-    int to;
-    int next;
-    int cap;
+  const auto add_arc = [this](int u, int v, int cap) {
+    const int index = static_cast<int>(arcs_.size());
+    arcs_.push_back({v, head_[u]});
+    base_cap_.push_back(cap);
+    head_[u] = index;
+    arcs_.push_back({u, head_[v]});
+    base_cap_.push_back(0);
+    head_[v] = index + 1;
+    return index;
   };
 
-  bool bfs(int s, int t) {
-    level_.assign(head_.size(), -1);
-    std::queue<int> q;
-    level_[s] = 0;
-    q.push(s);
-    while (!q.empty()) {
-      const int u = q.front();
-      q.pop();
-      for (int e = head_[u]; e != -1; e = edges_[e].next) {
-        if (edges_[e].cap > 0 && level_[edges_[e].to] == -1) {
-          level_[edges_[e].to] = level_[u] + 1;
-          q.push(edges_[e].to);
-        }
+  for (ProcessId w : active) {
+    split_arc_[w] = add_arc(static_cast<int>(2 * w),
+                            static_cast<int>(2 * w + 1), 1);
+    for (ProcessId x : g.successors(w)) {
+      if (active.contains(x)) {
+        add_arc(static_cast<int>(2 * w + 1), static_cast<int>(2 * x), 1);
       }
     }
-    return level_[t] != -1;
   }
+  level_.assign(2 * n_, -1);
+  prepared_ = true;
+}
 
-  int dfs(int u, int t, int pushed) {
-    if (u == t) return pushed;
-    for (int& e = iter_[u]; e != -1; e = edges_[e].next) {
-      Edge& edge = edges_[e];
-      if (edge.cap > 0 && level_[edge.to] == level_[u] + 1) {
-        const int got = dfs(edge.to, t, std::min(pushed, edge.cap));
-        if (got > 0) {
-          edge.cap -= got;
-          edges_[e ^ 1].cap += got;
-          return got;
-        }
-      }
-    }
-    return 0;
+std::size_t DisjointPathEngine::max_disjoint_paths(ProcessId u, ProcessId v,
+                                                   std::size_t limit) {
+  if (!prepared_) {
+    throw std::logic_error("DisjointPathEngine: query before prepare()");
   }
-
-  std::vector<Edge> edges_;
-  std::vector<int> head_;
-  std::vector<int> level_;
-  std::vector<int> iter_;
-};
-
-std::size_t disjoint_paths_impl(const Digraph& g, ProcessId u, ProcessId v,
-                                std::size_t limit, const NodeSet& active) {
   if (u == v) {
     throw std::invalid_argument("disjoint paths: endpoints must differ");
   }
-  if (u >= g.node_count() || v >= g.node_count()) {
+  if (u >= n_ || v >= n_) {
     throw std::out_of_range("disjoint paths: node out of range");
   }
-  if (!active.contains(u) || !active.contains(v)) return 0;
+  if (!active_.contains(u) || !active_.contains(v)) return 0;
 
-  const std::size_t n = g.node_count();
-  const int big = static_cast<int>(n) + 1;
-  UnitFlow flow(2 * n);
-  for (ProcessId w : active) {
-    const int cap = (w == u || w == v) ? big : 1;
-    flow.add_edge(static_cast<int>(2 * w), static_cast<int>(2 * w + 1), cap);
-    for (ProcessId x : g.successors(w)) {
-      if (active.contains(x)) {
-        flow.add_edge(static_cast<int>(2 * w + 1), static_cast<int>(2 * x), 1);
+  ++query_count_;
+  cap_ = base_cap_;
+  cap_[split_arc_[u]] = big_;
+  cap_[split_arc_[v]] = big_;
+
+  const int s = static_cast<int>(2 * u + 1);
+  const int t = static_cast<int>(2 * v);
+  std::size_t flow = 0;
+  while (flow < limit && bfs(s, t)) {
+    iter_ = head_;
+    while (flow < limit) {
+      const int pushed = dfs(s, t, std::numeric_limits<int>::max());
+      if (pushed == 0) break;
+      flow += static_cast<std::size_t>(pushed);
+    }
+  }
+  return flow;
+}
+
+bool DisjointPathEngine::has_k_paths(ProcessId u, ProcessId v, std::size_t k) {
+  if (k == 0) return true;
+  return max_disjoint_paths(u, v, k) >= k;
+}
+
+DisjointPathEngine::VertexCut DisjointPathEngine::extract_cut(ProcessId u,
+                                                              ProcessId v) {
+  if (!prepared_) {
+    throw std::logic_error("DisjointPathEngine::extract_cut before prepare()");
+  }
+  // Residual-reachable flow nodes from the source of the last query.
+  level_.assign(head_.size(), -1);
+  queue_.clear();
+  const int s = static_cast<int>(2 * u + 1);
+  level_[s] = 0;
+  queue_.push_back(s);
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const int x = queue_[qi];
+    for (int e = head_[x]; e != -1; e = arcs_[e].next) {
+      if (cap_[e] > 0 && level_[arcs_[e].to] == -1) {
+        level_[arcs_[e].to] = 0;
+        queue_.push_back(arcs_[e].to);
       }
     }
   }
-  return flow.max_flow(static_cast<int>(2 * u + 1), static_cast<int>(2 * v),
-                       limit);
+
+  VertexCut result{NodeSet(n_), NodeSet(n_)};
+  // Source side: nodes whose out-half is residual-reachable (their outgoing
+  // edges can still feed flow).
+  for (ProcessId w : active_) {
+    if (level_[2 * w + 1] != -1) result.source_side.add(w);
+  }
+  // Cover every saturated arc crossing the frontier with one vertex on it:
+  //  - a split arc w_in -> w_out is covered by w,
+  //  - an edge arc a_out -> b_in by b (or by a when b is the target v,
+  //    which must not join the cut; a == u means the direct edge u -> v,
+  //    which no internal vertex covers and which contributes exactly one
+  //    path on its own).
+  for (ProcessId w : active_) {
+    if (level_[2 * w] != -1 && level_[2 * w + 1] == -1) result.cut.add(w);
+    if (level_[2 * w + 1] == -1) continue;
+    for (int e = head_[2 * w + 1]; e != -1; e = arcs_[e].next) {
+      if (e % 2 != 0 || cap_[e] > 0) continue;  // reverse arc or unsaturated
+      const int to = arcs_[e].to;
+      if (level_[to] != -1) continue;  // not crossing
+      const auto b = static_cast<ProcessId>(to / 2);
+      if (b != v) {
+        result.cut.add(b);
+      } else if (w != u) {
+        result.cut.add(w);
+      }
+    }
+  }
+  return result;
 }
 
-}  // namespace
+bool DisjointPathEngine::bfs(int s, int t) {
+  level_.assign(head_.size(), -1);
+  queue_.clear();
+  level_[s] = 0;
+  queue_.push_back(s);
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const int u = queue_[qi];
+    for (int e = head_[u]; e != -1; e = arcs_[e].next) {
+      if (cap_[e] > 0 && level_[arcs_[e].to] == -1) {
+        level_[arcs_[e].to] = level_[u] + 1;
+        queue_.push_back(arcs_[e].to);
+      }
+    }
+  }
+  return level_[t] != -1;
+}
+
+int DisjointPathEngine::dfs(int u, int t, int pushed) {
+  if (u == t) return pushed;
+  for (int& e = iter_[u]; e != -1; e = arcs_[e].next) {
+    if (cap_[e] > 0 && level_[arcs_[e].to] == level_[u] + 1) {
+      const int got = dfs(arcs_[e].to, t, std::min(pushed, cap_[e]));
+      if (got > 0) {
+        cap_[e] -= got;
+        cap_[e ^ 1] += got;
+        return got;
+      }
+    }
+  }
+  return 0;
+}
 
 std::size_t max_vertex_disjoint_paths(const Digraph& g, ProcessId u,
                                       ProcessId v, const NodeSet& active) {
-  return disjoint_paths_impl(g, u, v, g.node_count() + 1, active);
+  if (u >= g.node_count() || v >= g.node_count()) {
+    throw std::out_of_range("disjoint paths: node out of range");
+  }
+  DisjointPathEngine engine;
+  engine.prepare(g, active);
+  return engine.max_disjoint_paths(u, v, g.node_count() + 1);
 }
 
 std::size_t max_vertex_disjoint_paths(const Digraph& g, ProcessId u,
@@ -127,17 +182,25 @@ std::size_t max_vertex_disjoint_paths(const Digraph& g, ProcessId u,
 bool has_k_vertex_disjoint_paths(const Digraph& g, ProcessId u, ProcessId v,
                                  std::size_t k, const NodeSet& active) {
   if (k == 0) return true;
-  return disjoint_paths_impl(g, u, v, k, active) >= k;
+  if (u >= g.node_count() || v >= g.node_count()) {
+    throw std::out_of_range("disjoint paths: node out of range");
+  }
+  DisjointPathEngine engine;
+  engine.prepare(g, active);
+  return engine.has_k_paths(u, v, k);
 }
 
 bool is_k_strongly_connected(const Digraph& g, std::size_t k,
                              const NodeSet& active) {
   const auto nodes = active.to_vector();
   if (nodes.size() <= 1) return true;
+  // One prepared network serves every ordered pair.
+  DisjointPathEngine engine;
+  engine.prepare(g, active);
   for (ProcessId u : nodes) {
     for (ProcessId v : nodes) {
       if (u == v) continue;
-      if (!has_k_vertex_disjoint_paths(g, u, v, k, active)) return false;
+      if (!engine.has_k_paths(u, v, k)) return false;
     }
   }
   return true;

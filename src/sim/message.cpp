@@ -1,0 +1,44 @@
+#include "sim/message.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace scup::sim {
+
+namespace {
+// Function-local statics avoid static-initialization-order issues for
+// messages interned during other globals' construction.
+std::vector<std::string>& names_by_id() {
+  static std::vector<std::string> names;
+  return names;
+}
+std::map<std::string, std::uint32_t>& ids_by_name() {
+  static std::map<std::string, std::uint32_t> ids;
+  return ids;
+}
+}  // namespace
+
+std::uint32_t MessageTypeRegistry::intern(const std::string& name) {
+  auto& ids = ids_by_name();
+  const auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  auto& names = names_by_id();
+  const auto id = static_cast<std::uint32_t>(names.size());
+  names.push_back(name);
+  ids.emplace(name, id);
+  return id;
+}
+
+const std::string& MessageTypeRegistry::name_of(std::uint32_t id) {
+  const auto& names = names_by_id();
+  if (id >= names.size()) {
+    throw std::out_of_range("MessageTypeRegistry::name_of: unknown id " +
+                            std::to_string(id));
+  }
+  return names[id];
+}
+
+std::size_t MessageTypeRegistry::count() { return names_by_id().size(); }
+
+}  // namespace scup::sim

@@ -7,10 +7,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
 namespace scup::sim {
+
+/// Process-wide interner mapping stable message type names to dense small
+/// integer ids. Metrics accounting on the per-send hot path is then a
+/// vector index instead of a std::string construction plus two map
+/// lookups; names are materialized again only at report time. Ids are
+/// assigned on first use and stable for the process lifetime (they are
+/// shared across Simulation instances).
+class MessageTypeRegistry {
+ public:
+  static std::uint32_t intern(const std::string& name);
+  static const std::string& name_of(std::uint32_t id);
+  /// Number of ids handed out so far.
+  static std::size_t count();
+};
 
 class Message {
  public:
@@ -22,6 +37,23 @@ class Message {
   /// Approximate wire size in bytes, for traffic accounting. Subclasses
   /// should override with a size reflecting their payload.
   virtual std::size_t byte_size() const { return 64; }
+
+  /// Interned id of type_name(), computed lazily once per message object —
+  /// a broadcast fanning one message out to n destinations interns once
+  /// and reads the cached id n-1 times.
+  std::uint32_t metrics_type_id() const {
+    if (metrics_type_id_ == kUninternedTypeId) {
+      metrics_type_id_ = MessageTypeRegistry::intern(type_name());
+    }
+    return metrics_type_id_;
+  }
+
+ private:
+  static constexpr std::uint32_t kUninternedTypeId = 0xffffffffu;
+  // The cache is per-object state invisible to message semantics; the
+  // simulator is single-threaded, so plain mutation is safe on shared
+  // const messages.
+  mutable std::uint32_t metrics_type_id_ = kUninternedTypeId;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

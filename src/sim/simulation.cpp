@@ -4,6 +4,25 @@
 
 namespace scup::sim {
 
+namespace {
+std::map<std::string, std::size_t> stringify_by_type(
+    const std::vector<std::size_t>& by_id) {
+  std::map<std::string, std::size_t> result;
+  for (std::uint32_t id = 0; id < by_id.size(); ++id) {
+    if (by_id[id] != 0) result[MessageTypeRegistry::name_of(id)] = by_id[id];
+  }
+  return result;
+}
+}  // namespace
+
+std::map<std::string, std::size_t> SimMetrics::messages_by_type() const {
+  return stringify_by_type(messages_by_type_id);
+}
+
+std::map<std::string, std::size_t> SimMetrics::bytes_by_type() const {
+  return stringify_by_type(bytes_by_type_id);
+}
+
 Simulation::Simulation(std::size_t n, NetworkConfig config)
     : n_(n),
       config_(config),
@@ -69,9 +88,13 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   metrics_.messages_sent += 1;
   const std::size_t bytes = msg->byte_size();
   metrics_.bytes_sent += bytes;
-  const std::string type = msg->type_name();
-  metrics_.messages_by_type[type] += 1;
-  metrics_.bytes_by_type[type] += bytes;
+  const std::uint32_t type = msg->metrics_type_id();
+  if (type >= metrics_.messages_by_type_id.size()) {
+    metrics_.messages_by_type_id.resize(type + 1, 0);
+    metrics_.bytes_by_type_id.resize(type + 1, 0);
+  }
+  metrics_.messages_by_type_id[type] += 1;
+  metrics_.bytes_by_type_id[type] += bytes;
 
   Event e;
   e.time = now_ + sample_delay();
@@ -125,7 +148,10 @@ void Simulation::dispatch(const Event& event) {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  Event event = queue_.top();
+  // Move the event out instead of copying it: an Event holds a shared_ptr
+  // whose copy is a refcount round-trip per delivery. pop() only needs the
+  // top slot to be move-assignable, which a moved-from Event is.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = event.time;
   metrics_.events_processed += 1;

@@ -40,10 +40,18 @@ struct NetworkConfig {
 struct SimMetrics {
   std::size_t messages_sent = 0;
   std::size_t bytes_sent = 0;
-  std::map<std::string, std::size_t> messages_by_type;
-  std::map<std::string, std::size_t> bytes_by_type;
+  /// Per-type counters indexed by interned MessageTypeRegistry id (the
+  /// per-send hot path is one vector index; names are resolved only at
+  /// report time). Entries are 0 for types this simulation never sent.
+  std::vector<std::size_t> messages_by_type_id;
+  std::vector<std::size_t> bytes_by_type_id;
   std::size_t timer_fires = 0;
   std::size_t events_processed = 0;
+
+  /// Report-time views: type name -> count/bytes for every type this
+  /// simulation actually sent.
+  std::map<std::string, std::size_t> messages_by_type() const;
+  std::map<std::string, std::size_t> bytes_by_type() const;
 };
 
 class Simulation {

@@ -160,5 +160,78 @@ TEST_P(NodeSetPropertyTest, AlgebraIdentities) {
 INSTANTIATE_TEST_SUITE_P(Seeds, NodeSetPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 33));
 
+// ---- Word-boundary and degenerate-universe edge cases ----
+
+TEST(NodeSetEdgeCaseTest, FullWithMultipleOf64Universe) {
+  // universe % 64 == 0 means "no partial last word": the clear-tail-bits
+  // step must be a no-op, not a 1ULL << 64 shift.
+  for (const std::size_t universe : {64u, 128u, 192u}) {
+    const NodeSet s = NodeSet::full(universe);
+    EXPECT_EQ(s.count(), universe) << universe;
+    EXPECT_TRUE(s.contains(0)) << universe;
+    EXPECT_TRUE(s.contains(static_cast<ProcessId>(universe - 1))) << universe;
+    EXPECT_FALSE(s.contains(static_cast<ProcessId>(universe))) << universe;
+    EXPECT_TRUE(s.complement().empty()) << universe;
+  }
+}
+
+TEST(NodeSetEdgeCaseTest, NextMemberAcrossWordBoundaries) {
+  NodeSet s(200, {0, 63, 64, 127, 128, 191});
+  // Iteration enumerates exactly the members, in order, across all three
+  // word boundaries.
+  const std::vector<ProcessId> expected{0, 63, 64, 127, 128, 191};
+  EXPECT_EQ(s.to_vector(), expected);
+  // min_member after removing the first member of a word must find the
+  // next word's first member.
+  s.remove(0);
+  EXPECT_EQ(s.min_member(), 63u);
+  s.remove(63);
+  EXPECT_EQ(s.min_member(), 64u);
+  s.remove(64);
+  EXPECT_EQ(s.min_member(), 127u);
+}
+
+TEST(NodeSetEdgeCaseTest, IterationOverExactlyWordSizedUniverse) {
+  NodeSet s(64, {63});
+  std::size_t visits = 0;
+  for (ProcessId p : s) {
+    EXPECT_EQ(p, 63u);
+    ++visits;
+  }
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST(NodeSetEdgeCaseTest, UniverseZero) {
+  NodeSet s(0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min_member(), kInvalidProcess);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_TRUE(s.begin() == s.end());
+  EXPECT_TRUE(s.to_vector().empty());
+  EXPECT_EQ(NodeSet::full(0).count(), 0u);
+  EXPECT_TRUE(s.complement().empty());
+  EXPECT_EQ(s, NodeSet::full(0));
+  EXPECT_THROW(s.add(0), std::out_of_range);
+}
+
+TEST(NodeSetEdgeCaseTest, ComplementNeverSetsBitsPastTheUniverse) {
+  for (const std::size_t universe : {1u, 63u, 64u, 65u, 100u, 128u}) {
+    const NodeSet none(universe);
+    const NodeSet all = none.complement();
+    EXPECT_EQ(all.count(), universe) << universe;
+    EXPECT_EQ(all, NodeSet::full(universe)) << universe;
+    // Every member enumerated by iteration must be a legal id; a stray
+    // tail bit would surface here as id >= universe.
+    for (ProcessId p : all) {
+      EXPECT_LT(p, universe);
+    }
+    // Complement of complement round-trips (tail bits would survive the
+    // subtraction and break this).
+    EXPECT_EQ(all.complement(), none) << universe;
+    EXPECT_EQ(all.complement().count(), 0u) << universe;
+  }
+}
+
 }  // namespace
 }  // namespace scup

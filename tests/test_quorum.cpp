@@ -180,5 +180,98 @@ TEST(Fig2CounterexampleTest, LocalSlicesSatisfyLemmas1And2) {
   }
 }
 
+// ---- quorum_closure: removals while iterating (regression) ----
+
+TEST(QuorumClosureTest, RemovalCascadeAcrossWordBoundary) {
+  // A dependency chain crossing the 64-bit word boundary: node i's only
+  // slice is {i+1}, so unsatisfiability cascades backward from the top,
+  // with removals landing on both sides of bit 63/64 — the pattern that a
+  // mutate-while-iterating closure walks while the set changes under it.
+  // The surviving quorum is a 5-clique straddling the same boundary.
+  const std::size_t n = 192;
+  FbqsSystem sys(n);
+  const NodeSet clique(n, {62, 63, 64, 65, 66});
+  for (ProcessId i : clique) {
+    sys.set_slices(i, SliceSet::threshold(3, clique));
+  }
+  for (ProcessId i = 100; i < 140; ++i) {
+    sys.set_slices(
+        i, SliceSet::explicit_slices({NodeSet(n, {static_cast<ProcessId>(
+               i + 1)})}));
+  }
+  // 140's slice needs a process that is never in the candidate, so the
+  // cascade starts there and crosses the 127/128 boundary on its way down.
+  sys.set_slices(140, SliceSet::explicit_slices({NodeSet(n, {150})}));
+
+  NodeSet candidate = clique;
+  for (ProcessId i = 100; i <= 140; ++i) candidate.add(i);
+  const NodeSet closure = sys.quorum_closure(candidate);
+  EXPECT_EQ(closure, clique);
+  EXPECT_TRUE(sys.is_quorum(closure));
+
+  // Same-pass removals on both sides of the boundary (63 and 64 are both
+  // unsatisfied at pass start; 65 only falls after they are gone).
+  FbqsSystem boundary(n);
+  boundary.set_slices(63, SliceSet::explicit_slices({NodeSet(n, {10})}));
+  boundary.set_slices(64, SliceSet::explicit_slices({NodeSet(n, {11})}));
+  boundary.set_slices(65, SliceSet::explicit_slices({NodeSet(n, {63})}));
+  EXPECT_TRUE(
+      boundary.quorum_closure(NodeSet(n, {63, 64, 65})).empty());
+}
+
+TEST(QuorumClosureTest, MismatchedUniverseThrows) {
+  // The seed silently walked a candidate from a foreign universe —
+  // members beyond n_ indexed has_slices_ out of bounds. Now it refuses.
+  FbqsSystem sys(8);
+  EXPECT_THROW((void)sys.quorum_closure(NodeSet(16)), std::invalid_argument);
+  EXPECT_THROW((void)sys.quorum_closure(NodeSet(16, {9})),
+               std::invalid_argument);
+}
+
+// ---- check_intertwined: degenerate groups get a well-defined report ----
+
+TEST(CheckIntertwinedTest, EmptyGroupIsVacuouslyOkWithZeroIntersection) {
+  FbqsSystem sys = [&] {
+    FbqsSystem s(8);
+    for (ProcessId i = 0; i < 8; ++i) {
+      s.set_slices(i, SliceSet::threshold(1, NodeSet(8, {i})));
+    }
+    return s;
+  }();
+  const auto report = sys.check_intertwined(NodeSet(8), /*f=*/1);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.pairs_examined, 0u);
+  // Never the old n+1 sentinel: min_intersection is 0 when nothing was
+  // compared.
+  EXPECT_EQ(report.min_intersection, 0u);
+  EXPECT_EQ(report.worst_i, kInvalidProcess);
+  EXPECT_EQ(report.worst_j, kInvalidProcess);
+}
+
+TEST(CheckIntertwinedTest, SingletonGroupExaminesItsSelfPairs) {
+  FbqsSystem sys(4);
+  // Process 0 has one quorum {0,1}: the self-pair intersects in 2 > f.
+  sys.set_slices(0, SliceSet::explicit_slices({NodeSet(4, {0, 1})}));
+  sys.set_slices(1, SliceSet::explicit_slices({NodeSet(4, {1})}));
+  const auto report = sys.check_intertwined(NodeSet(4, {0}), /*f=*/1);
+  EXPECT_TRUE(report.ok);
+  EXPECT_GE(report.pairs_examined, 1u);
+  EXPECT_LE(report.min_intersection, sys.size());
+  EXPECT_EQ(report.worst_i, 0u);
+  EXPECT_EQ(report.worst_j, 0u);
+}
+
+TEST(CheckIntertwinedTest, MemberWithoutQuorumReportsItself) {
+  FbqsSystem sys(4);
+  // Process 2's slice can never be satisfied together with 3 missing
+  // slices: it has no quorum at all.
+  sys.set_slices(2, SliceSet::explicit_slices({NodeSet(4, {3})}));
+  const auto report = sys.check_intertwined(NodeSet(4, {2}), /*f=*/0);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.min_intersection, 0u);
+  EXPECT_EQ(report.worst_i, 2u);
+  EXPECT_EQ(report.worst_j, 2u);
+}
+
 }  // namespace
 }  // namespace scup::fbqs

@@ -81,7 +81,7 @@ TEST(SimulationTest, PingPongDelivery) {
   EXPECT_EQ(b.last_sender_, 0u);
   EXPECT_EQ(sim.metrics().messages_sent, 10u);
   EXPECT_EQ(sim.metrics().bytes_sent, 320u);
-  EXPECT_EQ(sim.metrics().messages_by_type.at("test.ping"), 10u);
+  EXPECT_EQ(sim.metrics().messages_by_type().at("test.ping"), 10u);
 }
 
 TEST(SimulationTest, RunUntilPredicate) {

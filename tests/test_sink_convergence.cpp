@@ -121,11 +121,11 @@ TEST(ScenarioHarnessTest, MetricsBrokenDownByType) {
   cfg.faulty = graph::fig1_faulty();
   const auto report = run_scenario(cfg);
   // Both protocol layers must have produced traffic.
-  EXPECT_GT(report.metrics.messages_by_type.count("cup.discover"), 0u);
-  EXPECT_GT(report.metrics.messages_by_type.count("scp.nominate"), 0u);
-  EXPECT_GT(report.metrics.messages_by_type.count("scp.prepare"), 0u);
+  EXPECT_GT(report.metrics.messages_by_type().count("cup.discover"), 0u);
+  EXPECT_GT(report.metrics.messages_by_type().count("scp.nominate"), 0u);
+  EXPECT_GT(report.metrics.messages_by_type().count("scp.prepare"), 0u);
   std::size_t sum = 0;
-  for (const auto& [type, count] : report.metrics.messages_by_type) {
+  for (const auto& [type, count] : report.metrics.messages_by_type()) {
     sum += count;
   }
   EXPECT_EQ(sum, report.metrics.messages_sent);
