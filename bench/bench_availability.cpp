@@ -6,63 +6,94 @@
 // The bench sweeps |V_sink| and f, enumerates every failure placement
 // inside the sink (the hard case: non-sink failures never affect quorum
 // availability of others), and reports the fraction of (placement, process)
-// pairs with an all-correct quorum — expected 1.0. It also measures the
+// pairs with an all-correct quorum — expected 1.0. Placements are
+// independent cells, so the sweep runs on core::parallel_cells (the
+// ScenarioMatrix thread pool); the `threads` arg picks the pool size and
+// the counters are thread-count-invariant. It also measures the
 // quorum-closure search cost.
 #include "bench_common.hpp"
+
+#include "core/scenario_matrix.hpp"
 
 namespace scup {
 namespace {
 
+/// All faulty subsets of `sink` of size exactly f.
+std::vector<NodeSet> sink_placements(const NodeSet& sink, std::size_t f,
+                                     std::size_t n) {
+  std::vector<NodeSet> placements;
+  const std::vector<ProcessId> members = sink.to_vector();
+  if (f == 0 || f > members.size()) {
+    placements.emplace_back(n);
+    return placements;
+  }
+  std::vector<std::size_t> index(f);
+  for (std::size_t i = 0; i < f; ++i) index[i] = i;
+  while (true) {
+    NodeSet faulty(n);
+    for (std::size_t i : index) faulty.add(members[i]);
+    placements.push_back(std::move(faulty));
+    std::size_t pos = f;
+    bool advanced = false;
+    while (pos > 0) {
+      --pos;
+      if (index[pos] + (f - pos) < members.size()) {
+        ++index[pos];
+        for (std::size_t j = pos + 1; j < f; ++j) index[j] = index[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  return placements;
+}
+
 void BM_Availability_AllSinkPlacements(benchmark::State& state) {
   const std::size_t sink_size = static_cast<std::size_t>(state.range(0));
   const std::size_t f = static_cast<std::size_t>(state.range(1));
+  const std::size_t threads = static_cast<std::size_t>(state.range(2));
   const std::size_t n = sink_size + 2;
   NodeSet sink(n);
   for (ProcessId i = 0; i < sink_size; ++i) sink.add(i);
   const auto sys = bench::algorithm2_system(n, sink, f);
+  const std::vector<NodeSet> placements = sink_placements(sink, f, n);
 
   std::size_t checked = 0, available = 0;
   for (auto _ : state) {
+    // One cell per failure placement; cells only write their own slot.
+    std::vector<std::pair<std::size_t, std::size_t>> per_cell(
+        placements.size());
+    core::parallel_cells(placements.size(), threads, [&](std::size_t c) {
+      const NodeSet& faulty = placements[c];
+      auto& [cell_checked, cell_available] = per_cell[c];
+      cell_checked = cell_available = 0;
+      if (sink.count() - faulty.count() < 2 * f + 1) return;
+      const NodeSet w = faulty.complement();
+      for (ProcessId i : w) {
+        ++cell_checked;
+        if (sys.find_quorum_for(i, w).has_value()) ++cell_available;
+      }
+    });
     checked = available = 0;
-    // Enumerate all faulty subsets of the sink of size exactly f.
-    std::vector<ProcessId> members = sink.to_vector();
-    std::vector<std::size_t> index(f);
-    for (std::size_t i = 0; i < f; ++i) index[i] = i;
-    bool done = false;
-    while (!done) {
-      NodeSet faulty(n);
-      for (std::size_t i : index) faulty.add(members[i]);
-      if (sink.count() - faulty.count() >= 2 * f + 1) {
-        const NodeSet w = faulty.complement();
-        for (ProcessId i : w) {
-          ++checked;
-          if (sys.find_quorum_for(i, w).has_value()) ++available;
-        }
-      }
-      // next combination
-      std::size_t pos = f;
-      while (pos > 0) {
-        --pos;
-        if (index[pos] + (f - pos) < members.size()) {
-          ++index[pos];
-          for (std::size_t j = pos + 1; j < f; ++j) index[j] = index[j - 1] + 1;
-          break;
-        }
-        if (pos == 0) done = true;
-      }
-      if (f == 0) done = true;
+    for (const auto& [cell_checked, cell_available] : per_cell) {
+      checked += cell_checked;
+      available += cell_available;
     }
     benchmark::DoNotOptimize(available);
   }
   state.counters["pairs_checked"] = static_cast<double>(checked);
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["availability_rate"] =
       checked == 0 ? 1.0
                    : static_cast<double>(available) / static_cast<double>(checked);
 }
 BENCHMARK(BM_Availability_AllSinkPlacements)
-    ->ArgsProduct({{4, 5, 6, 7}, {1}})
-    ->Args({7, 2})
-    ->Args({8, 2});
+    ->ArgNames({"sink", "f", "threads"})
+    ->ArgsProduct({{4, 5, 6, 7}, {1}, {1}})
+    ->Args({7, 2, 1})
+    ->Args({8, 2, 1})
+    ->Args({8, 2, 8});
 
 void BM_Availability_InsufficientSinkViolates(benchmark::State& state) {
   // Control experiment: when the sink has only 2f correct members, Theorem

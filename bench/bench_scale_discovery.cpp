@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 
 #include "core/adversaries.hpp"
+#include "core/scenario_matrix.hpp"
 #include "cup/sink_discovery.hpp"
 #include "sim/composed.hpp"
 #include "sim/simulation.hpp"
@@ -147,33 +148,49 @@ BENCHMARK(BM_ScaleDiscovery_Sweep)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ScaleDiscovery_FullStack(benchmark::State& state) {
+  // The end-to-end rows run as a ScenarioMatrix: one variant (the
+  // large_scale_scenario family at this n), a two-seed sweep, `threads`
+  // pool workers. Counters aggregate over the matrix and are
+  // thread-count-invariant (cells are bit-deterministic).
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  core::LargeScaleParams params;
-  params.n = n;
-  params.f = 1;
-  params.protocol = core::ProtocolKind::kBftCup;
-  core::ScenarioReport report;
-  std::uint64_t seed = 3;
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  core::ScenarioMatrix matrix;
+  matrix
+      .add_variant("bftcup/large_scale",
+                   [n](std::uint64_t seed) {
+                     core::LargeScaleParams params;
+                     params.n = n;
+                     params.f = 1;
+                     params.protocol = core::ProtocolKind::kBftCup;
+                     params.seed = seed;
+                     return core::large_scale_scenario(params);
+                   })
+      .seeds({3, 4});
+  std::vector<core::CellResult> results;
   for (auto _ : state) {
-    params.seed = seed++;
-    report = core::run_scenario(core::large_scale_scenario(params));
-    benchmark::DoNotOptimize(report);
+    results = matrix.run(threads);
+    benchmark::DoNotOptimize(results);
   }
+  const core::MatrixSummary s = core::ScenarioMatrix::summarize(results);
   state.counters["n"] = static_cast<double>(n);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cells"] = static_cast<double>(s.cells);
   state.counters["nodes_per_sec"] = benchmark::Counter(
-      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
-  state.counters["termination"] = report.all_decided ? 1 : 0;
-  state.counters["agreement"] = report.agreement ? 1 : 0;
-  state.counters["validity"] = report.validity ? 1 : 0;
-  state.counters["sd_exact"] = report.sd_sink_exact ? 1 : 0;
-  state.counters["messages"] = static_cast<double>(report.metrics.messages_sent);
-  state.counters["kilobytes"] =
-      static_cast<double>(report.metrics.bytes_sent) / 1024.0;
-  state.counters["t_last_decide"] = static_cast<double>(report.last_decision);
+      static_cast<double>(n * s.cells),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["termination"] = s.decided_cells == s.cells ? 1 : 0;
+  state.counters["agreement"] = s.agreement_cells == s.cells ? 1 : 0;
+  state.counters["validity"] = s.validity_cells == s.cells ? 1 : 0;
+  state.counters["sd_exact"] = s.sd_exact_cells == s.cells ? 1 : 0;
+  state.counters["messages"] = static_cast<double>(s.messages);
+  state.counters["kilobytes"] = static_cast<double>(s.bytes) / 1024.0;
+  state.counters["p99_decide"] = static_cast<double>(s.p99_decision);
 }
 BENCHMARK(BM_ScaleDiscovery_FullStack)
-    ->Arg(64)
-    ->Arg(96)
+    ->ArgNames({"n", "threads"})
+    ->Args({64, 1})
+    ->Args({64, 8})
+    ->Args({96, 8})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,177 @@
+// E12 — the scenario matrix: churn + partition + loss sweeps over both
+// protocols, executed on the parallel ScenarioMatrix runner.
+//
+// Each matrix is shapes × seeds cells of the churn_partition_scenario
+// family (late-arriving participants; half the sink partitioned until GST;
+// optional pre-GST message loss with discovery retransmission; optional
+// crash fault). Counters report aggregated consensus properties —
+// decision_rate / agreement_cells / validity_cells are theorems: any cell
+// failing them is a correctness regression — plus p50/p99 decision time
+// and traffic.
+//
+// The Sweep rows run the same matrix at 1 vs 8 threads: the wall-time
+// ratio between the rows is the runner's speedup (cells are
+// embarrassingly parallel; expect ~min(8, cores)× on big-enough matrices).
+// The SpeedupProof row measures both in one place and also asserts the
+// parallel run is cell-by-cell identical to the serial one
+// (identical_reports=1).
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "core/scenario_matrix.hpp"
+
+namespace scup {
+namespace {
+
+core::ChurnPartitionParams shape_params(core::ProtocolKind protocol,
+                                        std::size_t n, int shape,
+                                        std::uint64_t seed) {
+  core::ChurnPartitionParams p;
+  p.n = n;
+  p.f = 1;
+  p.protocol = protocol;
+  p.seed = seed;
+  p.gst = 2'000;
+  switch (shape) {
+    case 0:  // churn only
+      p.late_fraction = 0.5;
+      p.with_partition = false;
+      break;
+    case 1:  // churn + sink partition until GST
+      p.late_fraction = 0.5;
+      p.with_partition = true;
+      break;
+    case 2:  // churn + partition + 20% pre-GST loss (requery enabled)
+      p.late_fraction = 0.5;
+      p.with_partition = true;
+      p.pre_gst_drop = 0.2;
+      break;
+    case 3:  // churn + partition + crash fault instead of Byzantine
+      p.late_fraction = 0.5;
+      p.with_partition = true;
+      p.with_crash = true;
+      break;
+    default:
+      break;
+  }
+  return p;
+}
+
+const char* shape_name(int shape) {
+  switch (shape) {
+    case 0: return "churn";
+    case 1: return "churn+partition";
+    case 2: return "churn+partition+loss";
+    case 3: return "churn+partition+crash";
+    default: return "?";
+  }
+}
+
+core::ScenarioMatrix e12_matrix(core::ProtocolKind protocol, std::size_t n,
+                                std::size_t seeds) {
+  core::ScenarioMatrix matrix;
+  for (int shape = 0; shape < 4; ++shape) {
+    matrix.add_variant(shape_name(shape),
+                       [protocol, n, shape](std::uint64_t seed) {
+                         return core::churn_partition_scenario(
+                             shape_params(protocol, n, shape, seed));
+                       });
+  }
+  std::vector<std::uint64_t> seed_list(seeds);
+  for (std::size_t i = 0; i < seeds; ++i) seed_list[i] = i + 1;
+  matrix.seeds(seed_list);
+  return matrix;
+}
+
+void report_summary(benchmark::State& state, const core::MatrixSummary& s) {
+  state.counters["cells"] = static_cast<double>(s.cells);
+  state.counters["decision_rate"] = s.decision_rate;
+  state.counters["agreement_cells"] = static_cast<double>(s.agreement_cells);
+  state.counters["validity_cells"] = static_cast<double>(s.validity_cells);
+  state.counters["p50_decide"] = static_cast<double>(s.p50_decision);
+  state.counters["p99_decide"] = static_cast<double>(s.p99_decision);
+  state.counters["messages"] = static_cast<double>(s.messages);
+  state.counters["kilobytes"] = static_cast<double>(s.bytes) / 1024.0;
+}
+
+void BM_E12_Sweep(benchmark::State& state) {
+  const auto protocol = state.range(0) == 0 ? core::ProtocolKind::kStellarSd
+                                            : core::ProtocolKind::kBftCup;
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  const core::ScenarioMatrix matrix = e12_matrix(protocol, n, 4);
+  std::vector<core::CellResult> results;
+  for (auto _ : state) {
+    results = matrix.run(threads);
+    benchmark::DoNotOptimize(results);
+  }
+  report_summary(state, core::ScenarioMatrix::summarize(results));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_E12_Sweep)
+    ->ArgNames({"proto", "n", "threads"})
+    // protocol 0 = Stellar+SD, 1 = BFT-CUP; same matrix serial vs 8 threads.
+    ->Args({0, 20, 1})
+    ->Args({0, 20, 8})
+    ->Args({1, 20, 1})
+    ->Args({1, 20, 8})
+    ->Args({0, 32, 8})
+    ->Args({1, 32, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E12_SpeedupProof(benchmark::State& state) {
+  // Both protocols in one matrix, serial and 8-thread back to back, with a
+  // cell-by-cell identity check. The speedup counter is what the E12
+  // acceptance bar reads (>= 4x at 8 threads on >= 8 cores; bounded by the
+  // physical core count — a 1-core CI box reports ~1x by construction).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::ScenarioMatrix matrix;
+  for (const auto protocol :
+       {core::ProtocolKind::kStellarSd, core::ProtocolKind::kBftCup}) {
+    const char* proto_name =
+        protocol == core::ProtocolKind::kStellarSd ? "stellar" : "bftcup";
+    for (int shape : {1, 2}) {
+      matrix.add_variant(
+          std::string(proto_name) + "/" + shape_name(shape),
+          [protocol, n, shape](std::uint64_t seed) {
+            return core::churn_partition_scenario(
+                shape_params(protocol, n, shape, seed));
+          });
+    }
+  }
+  matrix.seeds({1, 2, 3, 4});
+
+  double serial_ms = 0.0, parallel_ms = 0.0;
+  bool identical = true;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto serial = matrix.run(1);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto parallel = matrix.run(8);
+    const auto t2 = std::chrono::steady_clock::now();
+    serial_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    parallel_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+    identical = identical && serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+      identical = serial[i].report.metrics == parallel[i].report.metrics &&
+                  serial[i].report.decision_times ==
+                      parallel[i].report.decision_times &&
+                  serial[i].report.decided_value ==
+                      parallel[i].report.decided_value;
+    }
+    benchmark::DoNotOptimize(parallel);
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["serial_ms"] = serial_ms / iters;
+  state.counters["parallel8_ms"] = parallel_ms / iters;
+  state.counters["speedup_8t"] =
+      parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  state.counters["identical_reports"] = identical ? 1 : 0;
+}
+BENCHMARK(BM_E12_SpeedupProof)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scup
+
+BENCHMARK_MAIN();

@@ -1,4 +1,5 @@
-// A Stellar-style federated payments ledger on CUP knowledge.
+// A Stellar-style federated payments ledger on CUP knowledge — with
+// participants that join while the system is already running.
 //
 // The scenario the paper's introduction motivates: participants that only
 // know a few peers (their PD output) maintain a consistent payments ledger
@@ -8,6 +9,13 @@
 // its slices once (Algorithm 2), then closes six ledger slots with
 // back-to-back SCP instances (core::LedgerNode). A Byzantine anchor stays
 // silent throughout.
+//
+// Four of the edge replicas are LATE JOINERS (Simulation::activate): the
+// anchors bootstrap the federation alone, close the first slots among
+// themselves, and each late replica — on waking up — discovers the sink
+// from a knowledge graph that grew without it, then catches up and closes
+// the same chain. This is the unknown-participants setting made literal:
+// nobody is told the membership, and the membership is not even stable.
 //
 // Each slot's proposal is the digest of the transaction batch the replica
 // observed (replicas see slightly different mempools); consensus picks one
@@ -86,11 +94,26 @@ int main() {
   const auto g = graph::random_kosr_graph(params);
   const std::size_t n = g.node_count();
   const NodeSet faulty(n, {2});  // a silent Byzantine anchor
+  const NodeSet anchors = graph::unique_sink_component(g);
+
+  // Late joiners: the last four edge (non-anchor) replicas wake up one
+  // after another while the anchors are already closing slots.
+  std::vector<std::pair<ProcessId, SimTime>> arrivals;
+  for (ProcessId i = 0; i < n && arrivals.size() < 4; ++i) {
+    const ProcessId candidate = static_cast<ProcessId>(n - 1 - i);
+    if (anchors.contains(candidate) || faulty.contains(candidate)) continue;
+    arrivals.emplace_back(candidate,
+                          static_cast<SimTime>(40 + 25 * arrivals.size()));
+  }
 
   std::printf("Federation: %zu replicas, anchors (sink) = %s, f = %zu,\n"
-              "Byzantine anchor: p2 (silent). Closing %zu ledger slots...\n\n",
-              n, graph::unique_sink_component(g).to_string().c_str(), kF,
-              kSlots);
+              "Byzantine anchor: p2 (silent). Closing %zu ledger slots...\n",
+              n, anchors.to_string().c_str(), kF, kSlots);
+  std::printf("Late joiners:");
+  for (const auto& [who, when] : arrivals) {
+    std::printf(" p%u@t=%lld", who, static_cast<long long>(when));
+  }
+  std::printf(" (everyone else starts at t=0)\n\n");
 
   sim::NetworkConfig net;
   net.seed = 20230701;
@@ -108,6 +131,7 @@ int main() {
     });
     replicas[i] = &node;
   }
+  for (const auto& [who, when] : arrivals) sim.activate(who, when);
   const NodeSet correct = faulty.complement();
 
   sim.start();
@@ -144,6 +168,17 @@ int main() {
 
   std::int64_t supply = 0;
   for (const auto& [acc, bal] : balances) supply += bal;
+
+  std::printf("\nLate joiners caught up:\n");
+  for (const auto& [who, when] : arrivals) {
+    std::printf(
+        "  p%-2u joined t=%-4lld discovered the anchors %s and closed "
+        "%llu/%zu slots by t=%lld\n",
+        who, static_cast<long long>(when),
+        replicas[who]->sink_detected() ? "ok" : "NOT",
+        static_cast<unsigned long long>(replicas[who]->decided_slots()),
+        kSlots, static_cast<long long>(replicas[who]->last_close_time()));
+  }
 
   std::printf("\nAll %zu slots closed by t=%lld; %zu messages total.\n",
               kSlots, static_cast<long long>(sim.now()),

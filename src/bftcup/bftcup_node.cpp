@@ -5,12 +5,12 @@
 namespace scup::bftcup {
 
 BftCupNode::BftCupNode(NodeSet pd, std::size_t f, Value value,
-                       PbftConfig pbft)
+                       PbftConfig pbft, cup::DiscoveryConfig discovery)
     : ComposedNode(f),
       pd_(std::move(pd)),
       value_(value),
       pbft_config_(pbft),
-      detector_(*this, pd_),
+      detector_(*this, pd_, discovery),
       requesters_(pd_.universe_size()),
       request_forwarded_(pd_.universe_size()) {
   detector_.on_result = [this](const sinkdetector::GetSinkResult& r) {
@@ -44,6 +44,9 @@ void BftCupNode::decide(Value v) {
   if (decided_) return;
   decided_ = v;
   decision_time_ = now();
+  // Decided: nothing left to retransmit for (incoming requests are still
+  // answered from on_message).
+  detector_.stop_requery();
   answer_requests();
 }
 
@@ -103,6 +106,16 @@ void BftCupNode::on_message(ProcessId from, const sim::MessagePtr& msg) {
 }
 
 void BftCupNode::on_timer(int timer_id) {
+  if (detector_.on_timer(timer_id)) {
+    // Requery tick: our DecisionRequest flood (or its answers) may have
+    // been lost pre-GST; re-flood until a decision arrives. Receivers
+    // re-add us to `requesters_` and re-answer once decided.
+    if (!decided_) {
+      const auto req = sim::make_message<DecisionRequestMsg>(id());
+      for (ProcessId j : pd_) send(j, req);
+    }
+    return;
+  }
   if (timer_id == kPbftTimerId && pbft_) pbft_->on_view_timer();
 }
 

@@ -37,7 +37,8 @@ struct DecisionMsg final : sim::Message {
 
 class BftCupNode : public sim::ComposedNode {
  public:
-  BftCupNode(NodeSet pd, std::size_t f, Value value, PbftConfig pbft = {});
+  BftCupNode(NodeSet pd, std::size_t f, Value value, PbftConfig pbft = {},
+             cup::DiscoveryConfig discovery = {});
 
   void start() override;
   void on_message(ProcessId from, const sim::MessagePtr& msg) override;

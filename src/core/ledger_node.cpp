@@ -5,10 +5,12 @@
 namespace scup::core {
 
 LedgerNode::LedgerNode(NodeSet pd, std::size_t f, std::size_t target_slots,
-                       scp::ScpConfig scp_config)
+                       scp::ScpConfig scp_config,
+                       cup::DiscoveryConfig discovery)
     : ComposedNode(f),
       pd_(std::move(pd)),
-      detector_(*this, pd_),
+      target_slots_(target_slots),
+      detector_(*this, pd_, discovery),
       ledger_(*this, pd_.universe_size(), fbqs::QSet(), target_slots,
               scp_config) {
   detector_.on_result = [this](const sinkdetector::GetSinkResult& r) {
@@ -16,6 +18,8 @@ LedgerNode::LedgerNode(NodeSet pd, std::size_t f, std::size_t target_slots,
   };
   ledger_.on_slot_decided = [this](std::uint64_t, Value) {
     last_close_ = now();
+    // The chain is closed: retire the discovery requery timer.
+    if (ledger_.decided_slots() >= target_slots_) detector_.stop_requery();
   };
 }
 
@@ -53,6 +57,9 @@ void LedgerNode::on_message(ProcessId from, const sim::MessagePtr& msg) {
   if (ledger_.handle(from, *msg)) return;
 }
 
-void LedgerNode::on_timer(int timer_id) { ledger_.on_timer(timer_id); }
+void LedgerNode::on_timer(int timer_id) {
+  if (detector_.on_timer(timer_id)) return;
+  ledger_.on_timer(timer_id);
+}
 
 }  // namespace scup::core

@@ -17,7 +17,8 @@ class LedgerNode : public sim::ComposedNode {
   /// deterministic per-node value when not set before the sink detector
   /// returns). Closes `target_slots` ledgers then idles.
   LedgerNode(NodeSet pd, std::size_t f, std::size_t target_slots,
-             scp::ScpConfig scp_config = {});
+             scp::ScpConfig scp_config = {},
+             cup::DiscoveryConfig discovery = {});
 
   /// Per-slot proposal source; must be set before the simulation starts.
   void set_value_provider(std::function<Value(std::uint64_t)> provider);
@@ -38,6 +39,7 @@ class LedgerNode : public sim::ComposedNode {
   void on_sink(const sinkdetector::GetSinkResult& result);
 
   NodeSet pd_;
+  std::size_t target_slots_;
   sinkdetector::SinkDetector detector_;
   scp::LedgerMultiplexer ledger_;
   SimTime last_close_ = 0;

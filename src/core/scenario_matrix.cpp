@@ -1,0 +1,120 @@
+#include "core/scenario_matrix.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace scup::core {
+
+void parallel_cells(std::size_t count, std::size_t threads,
+                    const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ScenarioMatrix& ScenarioMatrix::add_variant(std::string label,
+                                            CellFactory factory) {
+  if (!factory) {
+    throw std::invalid_argument("ScenarioMatrix::add_variant: null factory");
+  }
+  variants_.emplace_back(std::move(label), std::move(factory));
+  return *this;
+}
+
+ScenarioMatrix& ScenarioMatrix::seeds(std::vector<std::uint64_t> seeds) {
+  seeds_ = std::move(seeds);
+  return *this;
+}
+
+std::vector<CellResult> ScenarioMatrix::run(std::size_t threads) const {
+  const std::size_t cells = cell_count();
+  std::vector<CellResult> results(cells);
+  // Cell i = (variant i / |seeds|, seed i % |seeds|); each worker writes
+  // only results[i], which is what makes the parallel run bit-identical to
+  // the serial one.
+  parallel_cells(cells, threads, [&](std::size_t i) {
+    const auto& [label, factory] = variants_[i / seeds_.size()];
+    const std::uint64_t seed = seeds_[i % seeds_.size()];
+    results[i].variant = label;
+    results[i].seed = seed;
+    results[i].report = run_scenario(factory(seed));
+  });
+  return results;
+}
+
+MatrixSummary ScenarioMatrix::summarize(
+    const std::vector<CellResult>& results) {
+  MatrixSummary s;
+  s.cells = results.size();
+  std::vector<SimTime> decision_times;
+  for (const CellResult& cell : results) {
+    const ScenarioReport& r = cell.report;
+    if (r.all_decided) ++s.decided_cells;
+    if (r.agreement) ++s.agreement_cells;
+    if (r.validity) ++s.validity_cells;
+    if (r.sd_sink_exact) ++s.sd_exact_cells;
+    s.messages += r.metrics.messages_sent;
+    s.bytes += r.metrics.bytes_sent;
+    for (SimTime t : r.decision_times) {
+      if (t != kTimeInfinity) decision_times.push_back(t);
+    }
+  }
+  s.decision_rate =
+      s.cells == 0 ? 0.0
+                   : static_cast<double>(s.decided_cells) /
+                         static_cast<double>(s.cells);
+  if (!decision_times.empty()) {
+    std::sort(decision_times.begin(), decision_times.end());
+    const auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(decision_times.size() - 1));
+      return decision_times[idx];
+    };
+    s.p50_decision = at(0.50);
+    s.p99_decision = at(0.99);
+    s.max_decision = decision_times.back();
+  }
+  return s;
+}
+
+std::string MatrixSummary::summary() const {
+  std::ostringstream os;
+  os << "cells=" << cells << " decided=" << decided_cells
+     << " agreement=" << agreement_cells << " validity=" << validity_cells
+     << " sd_exact=" << sd_exact_cells << " decision_rate=" << decision_rate
+     << " p50=" << p50_decision << " p99=" << p99_decision
+     << " max=" << max_decision << " msgs=" << messages << " bytes=" << bytes;
+  return os.str();
+}
+
+}  // namespace scup::core

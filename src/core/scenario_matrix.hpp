@@ -1,0 +1,87 @@
+// ScenarioMatrix — declare a grid of scenarios, execute the cells on a
+// thread pool, aggregate the reports.
+//
+// A cell is one (variant, seed) pair: a variant is a named cell factory
+// (seed -> ScenarioConfig) that fixes the structural axes — graph family,
+// n, f, adversary, network model, protocol, churn/partition schedule —
+// while the seed drives every random choice inside the cell (delays,
+// placements, activation times). The runner executes each cell as one
+// self-contained deterministic sim::Simulation, so results are
+// **bit-identical regardless of thread count**: cells share nothing, and a
+// cell's entire behaviour is a function of its config. (Per-type metric id
+// vectors use the process-wide MessageTypeRegistry, whose name->id mapping
+// is append-only — stable across runs within one process.)
+//
+// This is the experiment-throughput layer the ROADMAP's scale goal needs:
+// multi-seed sweeps that used to run serially on one core saturate every
+// core, and E12 (`bench_scenario_matrix`) reports the wall-clock speedup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace scup::core {
+
+/// Deterministic parallel-for: executes fn(i) for every i in [0, count) on
+/// `threads` worker threads (0 = hardware concurrency; 1 = inline serial
+/// execution). fn must confine writes to per-index state; the first
+/// exception thrown by any fn is rethrown after the pool drains.
+void parallel_cells(std::size_t count, std::size_t threads,
+                    const std::function<void(std::size_t)>& fn);
+
+struct CellResult {
+  std::string variant;     // label of the variant that produced the cell
+  std::uint64_t seed = 0;  // seed the factory was invoked with
+  ScenarioReport report;
+};
+
+/// Aggregate statistics over a batch of cell reports.
+struct MatrixSummary {
+  std::size_t cells = 0;
+  std::size_t decided_cells = 0;     // every owed process decided
+  std::size_t agreement_cells = 0;   // agreement held
+  std::size_t validity_cells = 0;    // validity held
+  std::size_t sd_exact_cells = 0;    // sink estimate exact everywhere
+  double decision_rate = 0.0;        // decided_cells / cells
+  /// Percentiles over every per-process decision time in every cell
+  /// (undecided processes excluded).
+  SimTime p50_decision = 0;
+  SimTime p99_decision = 0;
+  SimTime max_decision = 0;
+  std::size_t messages = 0;  // summed over cells
+  std::size_t bytes = 0;
+
+  std::string summary() const;
+};
+
+class ScenarioMatrix {
+ public:
+  using CellFactory = std::function<ScenarioConfig(std::uint64_t seed)>;
+
+  /// Adds one variant (a structural point of the grid). Factories must be
+  /// pure: same seed, same config.
+  ScenarioMatrix& add_variant(std::string label, CellFactory factory);
+
+  /// Seeds swept for every variant (the cell list is the cross product
+  /// variants × seeds).
+  ScenarioMatrix& seeds(std::vector<std::uint64_t> seeds);
+
+  std::size_t cell_count() const { return variants_.size() * seeds_.size(); }
+
+  /// Runs every cell and returns results in cell order (variant-major).
+  /// `threads` = 0 uses hardware concurrency; results do not depend on the
+  /// thread count.
+  std::vector<CellResult> run(std::size_t threads = 0) const;
+
+  static MatrixSummary summarize(const std::vector<CellResult>& results);
+
+ private:
+  std::vector<std::pair<std::string, CellFactory>> variants_;
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace scup::core

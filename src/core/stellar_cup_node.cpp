@@ -9,7 +9,7 @@ StellarCupNode::StellarCupNode(NodeSet pd, std::size_t f, Value value,
     : ComposedNode(f),
       pd_(std::move(pd)),
       value_(value),
-      detector_(*this, pd_),
+      detector_(*this, pd_, config.discovery),
       scp_(*this, pd_.universe_size(), fbqs::QSet(), value, config.scp) {
   detector_.on_result = [this](const sinkdetector::GetSinkResult& r) {
     on_sink(r);
@@ -30,10 +30,13 @@ void StellarCupNode::on_sink(const sinkdetector::GetSinkResult& result) {
   scp_.set_qset(slices.to_qset());
   for (ProcessId p : result.sink) learn_peer(p);
   scp_.start();
-  if (scp_.decided()) decision_time_ = now();  // buffered envelopes sufficed
-  scp_.on_decide = [this](Value) {
-    if (decision_time_ == kTimeInfinity) decision_time_ = now();
-  };
+  if (scp_.decided()) note_decided();  // buffered envelopes sufficed
+  scp_.on_decide = [this](Value) { note_decided(); };
+}
+
+void StellarCupNode::note_decided() {
+  if (decision_time_ == kTimeInfinity) decision_time_ = now();
+  detector_.stop_requery();
 }
 
 void StellarCupNode::learn_peer(ProcessId p) {
@@ -53,19 +56,16 @@ void StellarCupNode::on_message(ProcessId from, const sim::MessagePtr& msg) {
   }
   if (detector_.handle(from, *msg)) return;
   if (scp_.handle(from, *msg)) {
-    if (scp_.decided() && decision_time_ == kTimeInfinity) {
-      decision_time_ = now();
-    }
+    if (scp_.decided()) note_decided();
     return;
   }
 }
 
 void StellarCupNode::on_timer(int timer_id) {
+  if (detector_.on_timer(timer_id)) return;
   if (timer_id == scp::kScpBallotTimerId) {
     scp_.on_ballot_timer();
-    if (scp_.decided() && decision_time_ == kTimeInfinity) {
-      decision_time_ = now();
-    }
+    if (scp_.decided()) note_decided();
   }
 }
 

@@ -22,6 +22,7 @@ namespace scup::core {
 
 struct StellarCupConfig {
   scp::ScpConfig scp;
+  cup::DiscoveryConfig discovery;
 };
 
 class StellarCupNode : public sim::ComposedNode {
@@ -52,6 +53,9 @@ class StellarCupNode : public sim::ComposedNode {
  private:
   void on_sink(const sinkdetector::GetSinkResult& result);
   void learn_peer(ProcessId p);
+  /// Records the decision time (once) and retires the discovery requery
+  /// timer — a decided node has nothing left to retransmit for.
+  void note_decided();
 
   NodeSet pd_;
   Value value_;

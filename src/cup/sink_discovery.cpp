@@ -6,10 +6,12 @@
 
 namespace scup::cup {
 
-SinkDiscovery::SinkDiscovery(sim::ProtocolHost& host, NodeSet pd)
+SinkDiscovery::SinkDiscovery(sim::ProtocolHost& host, NodeSet pd,
+                             DiscoveryConfig config)
     : host_(host),
       pd_(std::move(pd)),
       f_(host.fault_threshold()),
+      config_(config),
       cert_graph_(pd_.universe_size()),
       new_edge_heads_(pd_.universe_size()),
       admitted_(pd_.universe_size()),
@@ -23,6 +25,35 @@ SinkDiscovery::SinkDiscovery(sim::ProtocolHost& host, NodeSet pd)
 void SinkDiscovery::start() {
   merge_certificate(own_cert());
   update();
+  if (config_.requery_interval > 0) {
+    host_.host_set_timer(kDiscoveryRequeryTimerId, config_.requery_interval);
+  }
+}
+
+bool SinkDiscovery::on_timer(int timer_id) {
+  if (timer_id != kDiscoveryRequeryTimerId) return false;
+  if (finished_ || requery_stopped_) return true;  // done; let it lapse
+  // Retransmit to queried nodes we never heard back from — their DISCOVER
+  // (or its reply) may have been lost pre-GST. Receivers are idempotent:
+  // a duplicate DISCOVER merges an already-known certificate and re-sends
+  // the (shared, cached) gossip reply.
+  sim::MessagePtr discover;
+  for (ProcessId j : queried_) {
+    if (j == host_.self() || responded_.contains(j)) continue;
+    if (!discover) discover = sim::make_message<DiscoverMsg>(own_cert());
+    host_.host_send(j, discover);
+  }
+  // Re-publish the last KNOWN set: a lost KNOWN would otherwise keep a
+  // peer's step-3 match one report short forever (publication is normally
+  // change-triggered only).
+  if (published_once_) {
+    const auto known = sim::make_message<KnownMsg>(last_published_);
+    for (ProcessId j : last_published_) {
+      if (j != host_.self()) host_.host_send(j, known);
+    }
+  }
+  host_.host_set_timer(kDiscoveryRequeryTimerId, config_.requery_interval);
+  return true;
 }
 
 bool SinkDiscovery::handle(ProcessId from, const sim::Message& msg) {

@@ -84,10 +84,25 @@ struct DiscoveryStats {
   std::uint64_t cert_epoch = 0;     // number of new-edge batches merged
 };
 
+/// Timer id used by the discovery retransmission path (see
+/// DiscoveryConfig::requery_interval).
+inline constexpr int kDiscoveryRequeryTimerId = 300;
+
+struct DiscoveryConfig {
+  /// When > 0, re-send DISCOVER to queried-but-silent nodes (and re-publish
+  /// the last KNOWN set) every `requery_interval` ticks until finished.
+  /// The paper's reliable channels never need this; it exists for network
+  /// models that drop messages before GST (NetworkConfig::pre_gst_drop),
+  /// where a single lost query would otherwise stall discovery forever.
+  /// Off by default: no timer, no extra messages, existing runs unchanged.
+  SimTime requery_interval = 0;
+};
+
 class SinkDiscovery {
  public:
   /// `pd` is the output of this process's participant detector.
-  SinkDiscovery(sim::ProtocolHost& host, NodeSet pd);
+  SinkDiscovery(sim::ProtocolHost& host, NodeSet pd,
+                DiscoveryConfig config = {});
 
   /// Begins knowledge expansion (queries PD members).
   void start();
@@ -95,6 +110,17 @@ class SinkDiscovery {
   /// Feeds a received message; returns true if it was a discovery-layer
   /// message (consumed).
   bool handle(ProcessId from, const sim::Message& msg);
+
+  /// Feeds a timer firing; returns true if it was the discovery requery
+  /// timer (consumed). Hosts must route on_timer here when a nonzero
+  /// requery_interval is configured.
+  bool on_timer(int timer_id);
+
+  /// Lets the requery timer lapse for good (no more retransmissions).
+  /// Hosts call this once the protocol above no longer needs recovery —
+  /// typically when the node has decided; finishing discovery stops it
+  /// automatically.
+  void stop_requery() { requery_stopped_ = true; }
 
   /// True once step 3 succeeded (only sink members get here).
   bool finished() const { return finished_; }
@@ -130,6 +156,7 @@ class SinkDiscovery {
   sim::ProtocolHost& host_;
   NodeSet pd_;
   std::size_t f_;
+  DiscoveryConfig config_;
 
   std::map<ProcessId, NodeSet> certs_;  // owner -> claimed PD (union-merged)
   graph::Digraph cert_graph_;           // the certified knowledge graph
@@ -149,6 +176,7 @@ class SinkDiscovery {
   bool published_once_ = false;
   bool finished_ = false;
   bool probably_non_sink_ = false;
+  bool requery_stopped_ = false;
 
   graph::DisjointPathEngine path_engine_;  // scratch reused across updates
   /// Per-node cut certificate from the last failed evaluation (empty

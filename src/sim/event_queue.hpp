@@ -1,0 +1,198 @@
+// The simulation's event queue: a two-tier indexed calendar queue.
+//
+// The simulator's old std::priority_queue paid O(log n) comparisons plus an
+// Event move-chain per push/pop. Delivery delays are small and bounded in
+// the common case (<= max_delay after GST, <= pre_gst_max_delay before), so
+// almost every event lands within a short horizon of the current time: a
+// ring of per-tick buckets turns push into an append and pop into a bitmap
+// scan. Events beyond the horizon (far timers, partition heals) overflow to
+// a std::priority_queue and migrate into the ring as the cursor advances.
+//
+// The pop order is exactly the old one — globally sorted by (time, seq) —
+// so the queue swap is behavior-invisible:
+//  - a bucket holds only events of one timestamp (bucket width is one tick
+//    and the ring never spans more than kRingSize ticks), appended in seq
+//    order because seq increases monotonically and events are only pushed
+//    at times >= the cursor;
+//  - overflow migration drains the priority queue in (time, seq) order into
+//    empty-or-older buckets, and later direct pushes always carry larger
+//    seqs.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace scup::sim {
+
+enum class EventKind : std::uint8_t { kDeliver, kTimer, kActivate, kCrash };
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break for determinism
+  EventKind kind = EventKind::kDeliver;
+  ProcessId target = kInvalidProcess;
+  // kDeliver
+  ProcessId from = kInvalidProcess;
+  MessagePtr msg;
+  // kTimer
+  int timer_id = 0;
+  std::uint64_t timer_generation = 0;
+};
+
+class CalendarQueue {
+ public:
+  /// Ring horizon in ticks (power of two). Events within
+  /// [cursor, cursor + kRingSize) live in per-tick buckets; everything
+  /// beyond overflows to the priority-queue tier.
+  static constexpr std::size_t kRingSize = 1024;
+
+  CalendarQueue() : ring_(kRingSize), heads_(kRingSize, 0) {
+    occupied_.fill(0);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Requires e.time >= the time of the last popped event (== the cursor;
+  /// the simulator only schedules at or after `now`).
+  void push(Event e) {
+    ++size_;
+    peeked_slot_ = kNoPeek;  // the new event may undercut the peeked one
+    if (e.time < cursor_ + static_cast<SimTime>(kRingSize)) {
+      bucket_push(std::move(e));
+    } else {
+      overflow_.push(std::move(e));
+    }
+  }
+
+  /// Time of the earliest event, without consuming it. Does not move the
+  /// cursor, so events may still be pushed anywhere at or after the last
+  /// popped time (e.g. a crash scheduled between run calls). Requires
+  /// !empty().
+  SimTime next_time() {
+    if (ring_count_ == 0) return overflow_.top().time;
+    migrate_overflow();
+    // Ring events all lie in [cursor_, cursor_ + kRingSize) and, after
+    // migration, every overflow event lies at or beyond that horizon — so
+    // the earliest occupied bucket is the global minimum.
+    peeked_slot_ = next_occupied(slot_of(cursor_));
+    return time_of(peeked_slot_);
+  }
+
+  /// Pops the earliest event. Requires !empty().
+  Event pop() {
+    std::size_t slot;
+    if (peeked_slot_ != kNoPeek) {
+      // The usual run-loop shape is peek-then-pop with nothing in between;
+      // reuse the peek's scan.
+      slot = peeked_slot_;
+    } else {
+      if (ring_count_ == 0) {
+        // Jump the cursor instead of scanning a (possibly huge) gap. Safe
+        // to commit here: the popped event's time becomes the simulation's
+        // `now`, the floor for every future push.
+        cursor_ = overflow_.top().time;
+      }
+      migrate_overflow();
+      slot = next_occupied(slot_of(cursor_));
+    }
+    peeked_slot_ = kNoPeek;
+    cursor_ = time_of(slot);
+    std::vector<Event>& bucket = ring_[slot];
+    Event e = std::move(bucket[heads_[slot]++]);
+    if (heads_[slot] == bucket.size()) {
+      bucket.clear();  // keeps capacity for reuse
+      heads_[slot] = 0;
+      occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+      --ring_count_;
+    }
+    --size_;
+    // Re-migrate against the advanced cursor before handing the event to
+    // its dispatch. This keeps the invariant that overflow events always
+    // lie at or beyond cursor_ + kRingSize *whenever a push can happen*:
+    // a push during dispatch therefore never shares a timestamp with a
+    // still-unmigrated (smaller-seq) overflow event, which is what keeps
+    // every bucket seq-sorted and the pop order exactly (time, seq).
+    migrate_overflow();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  static std::size_t slot_of(SimTime t) {
+    return static_cast<std::size_t>(t) & (kRingSize - 1);
+  }
+
+  /// Absolute time of the (occupied) bucket at `slot`, given that every
+  /// ring event lies in the window [cursor_, cursor_ + kRingSize).
+  SimTime time_of(std::size_t slot) const {
+    return cursor_ + static_cast<SimTime>((slot - slot_of(cursor_)) &
+                                          (kRingSize - 1));
+  }
+
+  void bucket_push(Event e) {
+    const std::size_t slot = slot_of(e.time);
+    if (ring_[slot].empty()) {
+      occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+      ++ring_count_;
+    }
+    ring_[slot].push_back(std::move(e));
+  }
+
+  /// Moves every overflow event now inside the ring horizon into its
+  /// bucket. The priority queue yields them in (time, seq) order, so
+  /// buckets stay seq-sorted.
+  void migrate_overflow() {
+    while (!overflow_.empty() &&
+           overflow_.top().time < cursor_ + static_cast<SimTime>(kRingSize)) {
+      // std::priority_queue::top is const; the pop pattern matches the
+      // move-out used by the simulator (the moved-from Event only needs to
+      // be destructible).
+      bucket_push(std::move(const_cast<Event&>(overflow_.top())));
+      overflow_.pop();
+    }
+  }
+
+  /// First occupied slot at or cyclically after `from`. Requires
+  /// ring_count_ > 0.
+  std::size_t next_occupied(std::size_t from) const {
+    constexpr std::size_t kWords = kRingSize / 64;
+    std::size_t word = from >> 6;
+    // Mask off bits below `from` in its word.
+    std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (from & 63));
+    for (std::size_t i = 0; i <= kWords; ++i) {
+      if (bits != 0) {
+        return (word << 6) +
+               static_cast<std::size_t>(std::countr_zero(bits));
+      }
+      word = (word + 1) & (kWords - 1);
+      bits = occupied_[word];
+    }
+    return from;  // unreachable when ring_count_ > 0
+  }
+
+  static constexpr std::size_t kNoPeek = kRingSize;
+
+  std::vector<std::vector<Event>> ring_;
+  std::vector<std::size_t> heads_;  // per-bucket consumed prefix
+  std::array<std::uint64_t, kRingSize / 64> occupied_{};
+  SimTime cursor_ = 0;  // no queued event is earlier than this
+  std::size_t ring_count_ = 0;  // occupied buckets
+  std::size_t size_ = 0;
+  std::size_t peeked_slot_ = kNoPeek;  // next_time's scan, reused by pop
+  std::priority_queue<Event, std::vector<Event>, Later> overflow_;
+};
+
+}  // namespace scup::sim

@@ -1,16 +1,25 @@
 #include "sim/message.hpp"
 
+#include <deque>
 #include <map>
+#include <mutex>
 #include <stdexcept>
-#include <vector>
 
 namespace scup::sim {
 
 namespace {
+// The registry is process-wide shared state; the ScenarioMatrix runner
+// interns from several simulation threads at once, so it is guarded by a
+// mutex. Names live in a deque because name_of hands out references that
+// must survive later interning (deque growth never moves elements).
 // Function-local statics avoid static-initialization-order issues for
 // messages interned during other globals' construction.
-std::vector<std::string>& names_by_id() {
-  static std::vector<std::string> names;
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+std::deque<std::string>& names_by_id() {
+  static std::deque<std::string> names;
   return names;
 }
 std::map<std::string, std::uint32_t>& ids_by_name() {
@@ -20,6 +29,7 @@ std::map<std::string, std::uint32_t>& ids_by_name() {
 }  // namespace
 
 std::uint32_t MessageTypeRegistry::intern(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
   auto& ids = ids_by_name();
   const auto it = ids.find(name);
   if (it != ids.end()) return it->second;
@@ -31,6 +41,7 @@ std::uint32_t MessageTypeRegistry::intern(const std::string& name) {
 }
 
 const std::string& MessageTypeRegistry::name_of(std::uint32_t id) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
   const auto& names = names_by_id();
   if (id >= names.size()) {
     throw std::out_of_range("MessageTypeRegistry::name_of: unknown id " +
@@ -39,6 +50,9 @@ const std::string& MessageTypeRegistry::name_of(std::uint32_t id) {
   return names[id];
 }
 
-std::size_t MessageTypeRegistry::count() { return names_by_id().size(); }
+std::size_t MessageTypeRegistry::count() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  return names_by_id().size();
+}
 
 }  // namespace scup::sim

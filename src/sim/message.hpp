@@ -50,9 +50,10 @@ class Message {
 
  private:
   static constexpr std::uint32_t kUninternedTypeId = 0xffffffffu;
-  // The cache is per-object state invisible to message semantics; the
-  // simulator is single-threaded, so plain mutation is safe on shared
-  // const messages.
+  // The cache is per-object state invisible to message semantics. Each
+  // Simulation runs on one thread and messages never cross simulations
+  // (parallel ScenarioMatrix cells are share-nothing), so plain mutation
+  // is safe on messages shared within one simulation.
   mutable std::uint32_t metrics_type_id_ = kUninternedTypeId;
 };
 

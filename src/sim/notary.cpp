@@ -12,15 +12,22 @@ Notary::Notary(std::size_t n, std::uint64_t seed) {
   for (std::size_t i = 0; i < n; ++i) secrets_.push_back(rng.next_u64());
 }
 
-Notary::Token Notary::sign(ProcessId signer, std::uint64_t statement) const {
+Notary::Token Notary::token_for(ProcessId signer,
+                                std::uint64_t statement) const {
   if (signer >= secrets_.size()) throw std::out_of_range("Notary::sign");
   return hash_mix(secrets_[signer], statement, 0x5197ULL);
+}
+
+Notary::Token Notary::sign(ProcessId signer, std::uint64_t statement) const {
+  const Token token = token_for(signer, statement);
+  log_.emplace_back(signer, statement);
+  return token;
 }
 
 bool Notary::verify(ProcessId signer, std::uint64_t statement,
                     Token token) const {
   if (signer >= secrets_.size()) return false;
-  return sign(signer, statement) == token;
+  return token_for(signer, statement) == token;
 }
 
 }  // namespace scup::sim

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -23,13 +24,27 @@ class Notary {
 
   Notary(std::size_t n, std::uint64_t seed);
 
-  /// Token binding `signer` to `statement`.
+  /// Token binding `signer` to `statement`. Every call is appended to
+  /// log(), so the signing trace doubles as a protocol-behaviour
+  /// fingerprint for determinism checks.
   Token sign(ProcessId signer, std::uint64_t statement) const;
 
+  /// Signature check; does not log (verification is a read).
   bool verify(ProcessId signer, std::uint64_t statement, Token token) const;
 
+  /// Every (signer, statement) pair signed so far, in order. Two runs of
+  /// the same seeded simulation must produce identical logs.
+  const std::vector<std::pair<ProcessId, std::uint64_t>>& log() const {
+    return log_;
+  }
+
  private:
+  Token token_for(ProcessId signer, std::uint64_t statement) const;
+
   std::vector<std::uint64_t> secrets_;
+  /// The log is observational state, not signature semantics; sign() stays
+  /// const for callers holding the simulation's const notary reference.
+  mutable std::vector<std::pair<ProcessId, std::uint64_t>> log_;
 };
 
 }  // namespace scup::sim

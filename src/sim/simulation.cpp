@@ -24,17 +24,23 @@ std::map<std::string, std::size_t> SimMetrics::bytes_by_type() const {
 }
 
 Simulation::Simulation(std::size_t n, NetworkConfig config)
+    : Simulation(n, config, std::make_unique<UniformModel>(config)) {}
+
+Simulation::Simulation(std::size_t n, NetworkConfig config,
+                       std::unique_ptr<NetworkModel> model)
     : n_(n),
       config_(config),
+      model_(std::move(model)),
       net_rng_(config.seed),
       notary_(n, config.seed),
       processes_(n),
       isolated_(n, false),
+      crashed_(n, false),
+      active_(n, false),
+      activation_time_(n, 0),
+      mailboxes_(n),
       timer_generations_(n) {
-  if (config_.min_delay < 0 || config_.max_delay < config_.min_delay ||
-      config_.pre_gst_max_delay < config_.min_delay) {
-    throw std::invalid_argument("Simulation: inconsistent delay bounds");
-  }
+  if (!model_) throw std::invalid_argument("Simulation: null NetworkModel");
   process_rngs_.reserve(n);
   Rng seeder(config.seed ^ 0x5eedULL);
   for (std::size_t i = 0; i < n; ++i) process_rngs_.push_back(seeder.split());
@@ -64,6 +70,13 @@ const Process& Simulation::process(ProcessId id) const {
   return *processes_[id];
 }
 
+void Simulation::activate(ProcessId id, SimTime t) {
+  if (id >= n_) throw std::out_of_range("activate: bad id");
+  if (started_) throw std::logic_error("activate after start");
+  if (t < 0) throw std::invalid_argument("activate: negative time");
+  activation_time_[id] = t;
+}
+
 void Simulation::start() {
   if (started_) throw std::logic_error("Simulation::start called twice");
   for (ProcessId id = 0; id < n_; ++id) {
@@ -73,18 +86,40 @@ void Simulation::start() {
     }
   }
   started_ = true;
-  for (ProcessId id = 0; id < n_; ++id) processes_[id]->start();
-}
-
-SimTime Simulation::sample_delay() {
-  const SimTime hi =
-      now_ < config_.gst ? config_.pre_gst_max_delay : config_.max_delay;
-  return net_rng_.uniform_range(config_.min_delay, hi);
+  for (const auto& [id, t] : pending_crashes_) {
+    if (t == 0) {
+      // Crashed at genesis: the process never runs — not even start().
+      crashed_[id] = true;
+      continue;
+    }
+    Event e;
+    e.time = t;
+    e.seq = next_seq_++;
+    e.kind = EventKind::kCrash;
+    e.target = id;
+    queue_.push(std::move(e));
+  }
+  pending_crashes_.clear();
+  for (ProcessId id = 0; id < n_; ++id) {
+    if (activation_time_[id] == 0) continue;
+    Event e;
+    e.time = activation_time_[id];
+    e.seq = next_seq_++;
+    e.kind = EventKind::kActivate;
+    e.target = id;
+    queue_.push(std::move(e));
+  }
+  for (ProcessId id = 0; id < n_; ++id) {
+    if (activation_time_[id] != 0 || crashed_[id]) continue;
+    active_[id] = true;
+    processes_[id]->start();
+  }
 }
 
 void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   if (to >= n_) throw std::out_of_range("send: bad destination");
   if (!msg) throw std::invalid_argument("send: null message");
+  if (from < n_ && crashed_[from]) return;  // a crashed process sends nothing
   metrics_.messages_sent += 1;
   const std::size_t bytes = msg->byte_size();
   metrics_.bytes_sent += bytes;
@@ -96,19 +131,61 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   metrics_.messages_by_type_id[type] += 1;
   metrics_.bytes_by_type_id[type] += bytes;
 
+  const NetworkModel::Verdict verdict =
+      model_->on_send(from, to, now_, net_rng_);
+  if (verdict.dropped) {
+    metrics_.messages_dropped += 1;
+    return;
+  }
+  if (verdict.deliver_at < now_ ||
+      (verdict.duplicated && verdict.duplicate_at < now_)) {
+    throw std::logic_error("NetworkModel: delivery scheduled in the past");
+  }
+  // The original is pushed before the duplicate and holds the smaller seq,
+  // preserving the queue's seq-sorted-bucket invariant when both copies
+  // sample the same delay.
+  MessagePtr dup_msg = verdict.duplicated ? msg : nullptr;
   Event e;
-  e.time = now_ + sample_delay();
+  e.time = verdict.deliver_at;
   e.seq = next_seq_++;
   e.kind = EventKind::kDeliver;
   e.target = to;
   e.from = from;
   e.msg = std::move(msg);
   queue_.push(std::move(e));
+  if (verdict.duplicated) {
+    metrics_.messages_duplicated += 1;
+    Event dup;
+    dup.time = verdict.duplicate_at;
+    dup.seq = next_seq_++;
+    dup.kind = EventKind::kDeliver;
+    dup.target = to;
+    dup.from = from;
+    dup.msg = std::move(dup_msg);  // both copies share the immutable message
+    queue_.push(std::move(dup));
+  }
+}
+
+std::uint64_t& Simulation::timer_generation(ProcessId target, int timer_id) {
+  auto& table = timer_generations_[target];
+  for (auto& [id, generation] : table) {
+    if (id == timer_id) return generation;
+  }
+  table.emplace_back(timer_id, 0);
+  return table.back().second;
+}
+
+const std::uint64_t* Simulation::find_timer_generation(ProcessId target,
+                                                       int timer_id) const {
+  for (const auto& [id, generation] : timer_generations_[target]) {
+    if (id == timer_id) return &generation;
+  }
+  return nullptr;
 }
 
 void Simulation::enqueue_timer(ProcessId target, int timer_id, SimTime delay) {
   if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
-  const std::uint64_t generation = ++timer_generations_[target][timer_id];
+  const std::uint64_t generation = ++timer_generation(target, timer_id);
   Event e;
   e.time = now_ + delay;
   e.seq = next_seq_++;
@@ -121,7 +198,7 @@ void Simulation::enqueue_timer(ProcessId target, int timer_id, SimTime delay) {
 
 void Simulation::cancel_timer(ProcessId target, int timer_id) {
   // Bumping the generation invalidates any queued firing.
-  ++timer_generations_[target][timer_id];
+  ++timer_generation(target, timer_id);
 }
 
 void Simulation::isolate(ProcessId id) {
@@ -129,51 +206,82 @@ void Simulation::isolate(ProcessId id) {
   isolated_[id] = true;
 }
 
-void Simulation::dispatch(const Event& event) {
+void Simulation::crash(ProcessId id) {
+  if (id >= n_) throw std::out_of_range("crash: bad id");
+  crashed_[id] = true;
+}
+
+void Simulation::crash_at(ProcessId id, SimTime t) {
+  if (id >= n_) throw std::out_of_range("crash_at: bad id");
+  if (t < now_) throw std::invalid_argument("crash_at: time in the past");
+  if (!started_) {
+    pending_crashes_.emplace_back(id, t);
+    return;
+  }
+  Event e;
+  e.time = t;
+  e.seq = next_seq_++;
+  e.kind = EventKind::kCrash;
+  e.target = id;
+  queue_.push(std::move(e));
+}
+
+void Simulation::dispatch(Event& event) {
+  if (crashed_[event.target]) return;  // crashed: nothing fires, ever
   Process& p = *processes_[event.target];
-  if (event.kind == EventKind::kDeliver) {
-    if (isolated_[event.target]) return;
-    p.on_message(event.from, event.msg);
-    return;
+  switch (event.kind) {
+    case EventKind::kDeliver:
+      if (isolated_[event.target]) return;
+      if (!active_[event.target]) {
+        // Not yet activated: the message waits in the mailbox and is
+        // handed over right after the deferred start().
+        mailboxes_[event.target].emplace_back(event.from,
+                                              std::move(event.msg));
+        return;
+      }
+      p.on_message(event.from, event.msg);
+      return;
+    case EventKind::kTimer: {
+      // Drop if re-armed/cancelled since scheduling.
+      const std::uint64_t* generation =
+          find_timer_generation(event.target, event.timer_id);
+      if (generation == nullptr || *generation != event.timer_generation) {
+        return;
+      }
+      metrics_.timer_fires += 1;
+      p.on_timer(event.timer_id);
+      return;
+    }
+    case EventKind::kActivate: {
+      active_[event.target] = true;
+      p.start();
+      auto mailbox = std::move(mailboxes_[event.target]);
+      mailboxes_[event.target].clear();
+      for (auto& [from, msg] : mailbox) {
+        if (crashed_[event.target] || isolated_[event.target]) break;
+        p.on_message(from, msg);
+      }
+      return;
+    }
+    case EventKind::kCrash:
+      crashed_[event.target] = true;
+      return;
   }
-  // Timer: drop if re-armed/cancelled since scheduling.
-  const auto it = timer_generations_[event.target].find(event.timer_id);
-  if (it == timer_generations_[event.target].end() ||
-      it->second != event.timer_generation) {
-    return;
-  }
-  metrics_.timer_fires += 1;
-  p.on_timer(event.timer_id);
 }
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  // Move the event out instead of copying it: an Event holds a shared_ptr
-  // whose copy is a refcount round-trip per delivery. pop() only needs the
-  // top slot to be move-assignable, which a moved-from Event is.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  Event event = queue_.pop();
   now_ = event.time;
   metrics_.events_processed += 1;
   dispatch(event);
   return true;
 }
 
-bool Simulation::run_until(const std::function<bool()>& predicate,
-                           SimTime deadline) {
-  if (!started_) throw std::logic_error("run_until before start");
-  if (predicate()) return true;
-  while (!queue_.empty() && queue_.top().time <= deadline) {
-    step();
-    if (predicate()) return true;
-  }
-  return predicate();
-}
-
 std::size_t Simulation::run_for(SimTime deadline) {
   if (!started_) throw std::logic_error("run_for before start");
   std::size_t processed = 0;
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
     step();
     ++processed;
   }

@@ -5,37 +5,31 @@
 // [min_delay, max_delay]. Channels are reliable and authenticated;
 // processing is instantaneous (computation bounds are absorbed into message
 // delays, which is standard for protocol simulation).
+//
+// The link layer is pluggable (sim::NetworkModel): per-link overrides,
+// partition schedules and pre-GST loss/duplication live there. The runtime
+// adds staged participation — activate(id, t) defers a process's start()
+// to simulated time t, with earlier deliveries buffered in its mailbox —
+// and a crash(id) fault primitive that silences a process in both
+// directions (no sends, no deliveries, no timer fires after the crash).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/message.hpp"
+#include "sim/network_model.hpp"
 #include "sim/notary.hpp"
 #include "sim/process.hpp"
 
 namespace scup::sim {
-
-struct NetworkConfig {
-  /// Global stabilization time. 0 means the system is synchronous from the
-  /// start.
-  SimTime gst = 0;
-  /// Post-GST delivery delay bounds [min_delay, max_delay].
-  SimTime min_delay = 1;
-  SimTime max_delay = 10;
-  /// Pre-GST delays are uniform in [min_delay, pre_gst_max_delay]; messages
-  /// in flight at GST still use their sampled delay (they are all
-  /// eventually delivered, as required by reliable channels).
-  SimTime pre_gst_max_delay = 200;
-  std::uint64_t seed = 1;
-};
 
 struct SimMetrics {
   std::size_t messages_sent = 0;
@@ -47,6 +41,11 @@ struct SimMetrics {
   std::vector<std::size_t> bytes_by_type_id;
   std::size_t timer_fires = 0;
   std::size_t events_processed = 0;
+  /// Sends the NetworkModel lost (pre-GST loss) / duplicated.
+  std::size_t messages_dropped = 0;
+  std::size_t messages_duplicated = 0;
+
+  bool operator==(const SimMetrics&) const = default;
 
   /// Report-time views: type name -> count/bytes for every type this
   /// simulation actually sent.
@@ -56,7 +55,13 @@ struct SimMetrics {
 
 class Simulation {
  public:
+  /// Runs the default UniformModel over `config` (including its override /
+  /// partition / loss feature set).
   Simulation(std::size_t n, NetworkConfig config);
+  /// Runs a custom link-layer model. `config` still provides the seed for
+  /// the network RNG stream and the notary.
+  Simulation(std::size_t n, NetworkConfig config,
+             std::unique_ptr<NetworkModel> model);
   ~Simulation();
 
   std::size_t size() const { return n_; }
@@ -75,15 +80,40 @@ class Simulation {
   Process& process(ProcessId id);
   const Process& process(ProcessId id) const;
 
-  /// Calls start() on every process (in id order). Must be called once.
+  /// Defers process `id`'s start() to simulated time `t` (staged
+  /// participant arrival). Deliveries before the activation wait in the
+  /// process's mailbox and are handed over, in arrival order, right after
+  /// its deferred start() runs. Must be called before start(); t = 0 means
+  /// the process starts with everyone else.
+  void activate(ProcessId id, SimTime t);
+  bool active(ProcessId id) const { return active_[id]; }
+
+  /// Calls start() on every process not scheduled by activate() (in id
+  /// order). Must be called once.
   void start();
 
   SimTime now() const { return now_; }
 
-  /// Processes events until `predicate` holds (checked after each event),
-  /// the event queue empties, or simulated time would exceed `deadline`.
-  /// Returns true iff the predicate held.
-  bool run_until(const std::function<bool()>& predicate, SimTime deadline);
+  /// Processes events until `predicate` holds, the event queue empties, or
+  /// simulated time would exceed `deadline`. Returns true iff the predicate
+  /// held. The predicate is checked after every `stride`-th event (default:
+  /// every event); a larger stride trades up to stride-1 extra processed
+  /// events for not paying an expensive predicate per event.
+  template <typename Pred>
+  bool run_until(Pred&& predicate, SimTime deadline, std::size_t stride = 1) {
+    if (!started_) throw std::logic_error("run_until before start");
+    if (predicate()) return true;
+    if (stride == 0) stride = 1;
+    std::size_t since_check = 0;
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      step();
+      if (++since_check >= stride) {
+        since_check = 0;
+        if (predicate()) return true;
+      }
+    }
+    return predicate();
+  }
 
   /// Processes all events with time <= deadline (or until the queue runs
   /// dry). Returns the number of events processed.
@@ -93,46 +123,35 @@ class Simulation {
 
   const Notary& notary() const { return notary_; }
 
-  /// Cuts all future message deliveries *to* `id` (models a process that
-  /// has crashed from the network's point of view; used by failure
-  /// injection tests). Messages already in flight are still counted but
-  /// dropped at delivery.
+  /// Cuts all future message deliveries *to* `id` (a partition-style fault:
+  /// the process keeps running and sending). Messages already in flight are
+  /// still counted but dropped at delivery. See crash() for a full stop.
   void isolate(ProcessId id);
+
+  /// Crash-stops `id` now: no sends, no deliveries, no timer fires from
+  /// this point on. Crashed processes count against the fault threshold
+  /// like any other failure.
+  void crash(ProcessId id);
+  /// Schedules crash(id) at simulated time `t` (>= now). Usable before or
+  /// after start().
+  void crash_at(ProcessId id, SimTime t);
+  bool crashed(ProcessId id) const { return crashed_[id]; }
 
  private:
   friend class Process;
 
-  enum class EventKind { kDeliver, kTimer };
-
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;  // FIFO tie-break for determinism
-    EventKind kind;
-    ProcessId target;
-    // kDeliver
-    ProcessId from = kInvalidProcess;
-    MessagePtr msg;
-    // kTimer
-    int timer_id = 0;
-    std::uint64_t timer_generation = 0;
-  };
-
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   void enqueue_send(ProcessId from, ProcessId to, MessagePtr msg);
   void enqueue_timer(ProcessId target, int timer_id, SimTime delay);
   void cancel_timer(ProcessId target, int timer_id);
-  SimTime sample_delay();
-  void dispatch(const Event& event);
+  std::uint64_t& timer_generation(ProcessId target, int timer_id);
+  const std::uint64_t* find_timer_generation(ProcessId target,
+                                             int timer_id) const;
+  void dispatch(Event& event);
   bool step();  // processes one event; false if queue empty
 
   std::size_t n_;
   NetworkConfig config_;
+  std::unique_ptr<NetworkModel> model_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   Rng net_rng_;
@@ -140,9 +159,17 @@ class Simulation {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> process_rngs_;
   std::vector<bool> isolated_;
-  // generation counters for timer cancellation/re-arming
-  std::vector<std::map<int, std::uint64_t>> timer_generations_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<bool> crashed_;
+  std::vector<bool> active_;
+  std::vector<SimTime> activation_time_;  // 0 = start with everyone else
+  std::vector<std::pair<ProcessId, SimTime>> pending_crashes_;
+  /// Pre-activation deliveries, in arrival order.
+  std::vector<std::vector<std::pair<ProcessId, MessagePtr>>> mailboxes_;
+  /// Generation counters for timer cancellation/re-arming. A process uses
+  /// a handful of distinct timer ids, so a flat (id, generation) vector
+  /// with linear scan beats the old per-process std::map.
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> timer_generations_;
+  CalendarQueue queue_;
   SimMetrics metrics_;
   bool started_ = false;
 };

@@ -7,11 +7,12 @@ namespace scup::sinkdetector {
 using cup::GetSinkMsg;
 using cup::SinkValueMsg;
 
-SinkDetector::SinkDetector(sim::ProtocolHost& host, NodeSet pd)
+SinkDetector::SinkDetector(sim::ProtocolHost& host, NodeSet pd,
+                           cup::DiscoveryConfig discovery_config)
     : host_(host),
       pd_(std::move(pd)),
       f_(host.fault_threshold()),
-      discovery_(host, pd_),
+      discovery_(host, pd_, discovery_config),
       asked_(pd_.universe_size()),
       forwarded_for_(pd_.universe_size()) {
   discovery_.on_complete = [this] {
@@ -27,6 +28,18 @@ void SinkDetector::start() {
   for (ProcessId j : pd_) host_.host_send(j, msg);
   // Line 7: run SINK.
   discovery_.start();
+}
+
+bool SinkDetector::on_timer(int timer_id) {
+  if (!discovery_.on_timer(timer_id)) return false;
+  // Piggyback on the requery tick: without a result yet, our GET_SINK (or
+  // a sink member's answer) may have been lost — re-flood it. Receivers
+  // re-add the origin to `asked` and, once they hold the sink, re-answer.
+  if (!result_) {
+    const auto msg = sim::make_message<cup::GetSinkMsg>(host_.self());
+    for (ProcessId j : pd_) host_.host_send(j, msg);
+  }
+  return true;
 }
 
 bool SinkDetector::handle(ProcessId from, const sim::Message& msg) {

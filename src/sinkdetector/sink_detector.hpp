@@ -30,7 +30,8 @@ struct GetSinkResult {
 
 class SinkDetector {
  public:
-  SinkDetector(sim::ProtocolHost& host, NodeSet pd);
+  SinkDetector(sim::ProtocolHost& host, NodeSet pd,
+               cup::DiscoveryConfig discovery_config = {});
 
   /// Starts Algorithm 3: broadcasts GET_SINK (line 5) and launches the SINK
   /// algorithm (line 7).
@@ -38,6 +39,18 @@ class SinkDetector {
 
   /// Feeds a received message; returns true if consumed by this layer.
   bool handle(ProcessId from, const sim::Message& msg);
+
+  /// Feeds a timer firing; returns true if consumed (the discovery requery
+  /// timer). On a requery tick a requester without a result also re-floods
+  /// its GET_SINK — receivers re-add the origin to `asked` and re-answer,
+  /// which recovers lost ⟨SINK, V⟩ replies under pre-GST message loss.
+  bool on_timer(int timer_id);
+
+  /// Stops the requery retransmissions for good. Nodes call this once they
+  /// have decided (the sink result alone is not enough: e.g. a BFT-CUP
+  /// non-sink member still relies on the tick to re-flood its decision
+  /// request while answers can be lost).
+  void stop_requery() { discovery_.stop_requery(); }
 
   bool has_result() const { return result_.has_value(); }
   const GetSinkResult& result() const;

@@ -226,6 +226,32 @@ TEST(SimulationTest, DeterministicGivenSeed) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(CalendarQueueTest, PopsInTimeThenSeqOrderAcrossTiers) {
+  // An overflow-tier event and a later direct push can land on the same
+  // tick; pop order must still be (time, seq) — the overflow event
+  // migrates as soon as the cursor advance brings it inside the horizon,
+  // before any same-tick direct push can get ahead of it.
+  constexpr SimTime kFar = static_cast<SimTime>(CalendarQueue::kRingSize) + 76;
+  auto ev = [](SimTime t, std::uint64_t seq) {
+    Event e;
+    e.time = t;
+    e.seq = seq;
+    e.kind = EventKind::kTimer;
+    return e;
+  };
+  CalendarQueue q;
+  q.push(ev(10, 0));
+  q.push(ev(kFar, 1));  // beyond the horizon: overflow tier
+  EXPECT_EQ(q.next_time(), 10);
+  EXPECT_EQ(q.pop().seq, 0u);
+  q.push(ev(600, 2));
+  EXPECT_EQ(q.pop().seq, 2u);  // cursor at 600: kFar is inside the horizon
+  q.push(ev(kFar, 3));         // same tick as the overflow event
+  EXPECT_EQ(q.pop().seq, 1u);  // smaller seq pops first
+  EXPECT_EQ(q.pop().seq, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(NotaryTest, SignVerifyRoundtrip) {
   Notary notary(4, 99);
   const auto t = notary.sign(2, 0xDEADBEEF);
