@@ -15,10 +15,13 @@ class LedgerNode : public sim::ComposedNode {
  public:
   /// Proposes `value_provider(slot)` for each slot (defaults to a
   /// deterministic per-node value when not set before the sink detector
-  /// returns). Closes `target_slots` ledgers then idles.
+  /// returns). Closes `target_slots` ledgers then idles. `slot_window`
+  /// bounds how far past the next slot a peer-named slot may allocate
+  /// state (see LedgerMultiplexer).
   LedgerNode(NodeSet pd, std::size_t f, std::size_t target_slots,
              scp::ScpConfig scp_config = {},
-             cup::DiscoveryConfig discovery = {});
+             cup::DiscoveryConfig discovery = {},
+             std::size_t slot_window = scp::kDefaultSlotWindow);
 
   /// Per-slot proposal source; must be set before the simulation starts.
   void set_value_provider(std::function<Value(std::uint64_t)> provider);
@@ -34,6 +37,11 @@ class LedgerNode : public sim::ComposedNode {
   }
   std::uint64_t chain_digest() const { return ledger_.chain_digest(); }
   SimTime last_close_time() const { return last_close_; }
+  /// Chain-wide quorum-evaluation work (shared engine across slots, E13).
+  const fbqs::QuorumEngineStats& quorum_stats() const {
+    return ledger_.engine().stats();
+  }
+  const scp::LedgerMultiplexer& ledger() const { return ledger_; }
 
  private:
   void on_sink(const sinkdetector::GetSinkResult& result);

@@ -1,0 +1,360 @@
+#include "fbqs/quorum_engine.hpp"
+
+#include "common/rng.hpp"
+
+namespace scup::fbqs {
+
+std::size_t qset_hash(const QSet& q) {
+  // Iterative pre-order walk; mixes thresholds, validators and tree shape.
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  std::vector<const QSet*> stack{&q};
+  while (!stack.empty()) {
+    const QSet* cur = stack.back();
+    stack.pop_back();
+    h = hash_mix(h, cur->threshold(), cur->validators().size());
+    h = hash_mix(h, cur->inner_sets().size());
+    for (ProcessId v : cur->validators()) h = hash_mix(h, v);
+    for (const QSet& inner : cur->inner_sets()) stack.push_back(&inner);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+QSetId QuorumEngine::intern(const QSet& q) {
+  const std::size_t h = qset_hash(q);
+  auto& bucket = by_hash_[h];
+  for (QSetId id : bucket) {
+    if (interned_[id].qset == q) {
+      ++stats_.intern_hits;
+      return id;
+    }
+  }
+  Interned entry;
+  entry.qset = q;
+  entry.nodes_begin = static_cast<std::uint32_t>(nodes_.size());
+  flatten(entry.qset);
+  entry.nodes_end = static_cast<std::uint32_t>(nodes_.size());
+  const auto id = static_cast<QSetId>(interned_.size());
+  interned_.push_back(std::move(entry));
+  bucket.push_back(id);
+  return id;
+}
+
+std::uint32_t QuorumEngine::flatten(const QSet& q) {
+  // Explicit-stack post-order: a frame emits its node only after all inner
+  // sets have been emitted, so children always precede parents in nodes_.
+  struct Frame {
+    const QSet* qset;
+    std::size_t next_inner = 0;
+    std::vector<std::uint32_t> child_ids;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&q, 0, {}});
+  std::uint32_t root = 0;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_inner < top.qset->inner_sets().size()) {
+      const QSet* inner = &top.qset->inner_sets()[top.next_inner++];
+      stack.push_back(Frame{inner, 0, {}});
+      continue;
+    }
+    FlatNode node;
+    node.threshold = static_cast<std::uint32_t>(top.qset->threshold());
+    node.validators_begin = static_cast<std::uint32_t>(validators_.size());
+    validators_.insert(validators_.end(), top.qset->validators().begin(),
+                       top.qset->validators().end());
+    node.validators_end = static_cast<std::uint32_t>(validators_.size());
+    node.children_begin = static_cast<std::uint32_t>(children_.size());
+    children_.insert(children_.end(), top.child_ids.begin(),
+                     top.child_ids.end());
+    node.children_end = static_cast<std::uint32_t>(children_.size());
+    const auto node_id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(node);
+    stack.pop_back();
+    if (stack.empty()) {
+      root = node_id;
+    } else {
+      stack.back().child_ids.push_back(node_id);
+    }
+  }
+  return root;
+}
+
+bool QuorumEngine::eval_satisfied(QSetId id, const NodeSet& nodes) {
+  ++stats_.qset_evals;
+  const Interned& q = interned_[id];
+  if (scratch_.size() < nodes_.size()) scratch_.resize(nodes_.size());
+  for (std::uint32_t i = q.nodes_begin; i < q.nodes_end; ++i) {
+    const FlatNode& fn = nodes_[i];
+    std::uint32_t count = 0;
+    for (std::uint32_t v = fn.validators_begin;
+         count < fn.threshold && v < fn.validators_end; ++v) {
+      if (nodes.contains(validators_[v])) ++count;
+    }
+    for (std::uint32_t c = fn.children_begin;
+         count < fn.threshold && c < fn.children_end; ++c) {
+      if (scratch_[children_[c]]) ++count;
+    }
+    scratch_[i] = count >= fn.threshold ? 1 : 0;
+  }
+  return scratch_[q.nodes_end - 1] != 0;
+}
+
+bool QuorumEngine::satisfied_by(QSetId id, const NodeSet& nodes) {
+  // One evaluation either way: the baseline also evaluated once per check.
+  ++stats_.qset_evals_baseline;
+  return eval_satisfied(id, nodes);
+}
+
+bool QuorumEngine::eval_blocked(QSetId id, const NodeSet& nodes) {
+  ++stats_.qset_evals;
+  const Interned& q = interned_[id];
+  if (scratch_.size() < nodes_.size()) scratch_.resize(nodes_.size());
+  for (std::uint32_t i = q.nodes_begin; i < q.nodes_end; ++i) {
+    const FlatNode& fn = nodes_[i];
+    // Count elements that could still appear in a slice avoiding `nodes`;
+    // blocked iff fewer than `threshold` stay alive. threshold == 0 (the
+    // empty qset) is never blocked: alive >= 0 == threshold.
+    std::uint32_t alive = 0;
+    for (std::uint32_t v = fn.validators_begin;
+         alive < fn.threshold && v < fn.validators_end; ++v) {
+      if (!nodes.contains(validators_[v])) ++alive;
+    }
+    for (std::uint32_t c = fn.children_begin;
+         alive < fn.threshold && c < fn.children_end; ++c) {
+      if (scratch_[children_[c]]) ++alive;  // scratch = "not blocked"
+    }
+    scratch_[i] = alive >= fn.threshold ? 1 : 0;
+  }
+  return scratch_[q.nodes_end - 1] == 0;
+}
+
+bool QuorumEngine::blocked_by(QSetId id, const NodeSet& nodes) {
+  ++stats_.qset_evals_baseline;
+  return eval_blocked(id, nodes);
+}
+
+namespace {
+/// Bounded insert for a monotone tier: replace a dominated entry when one
+/// exists (keep_smaller: the new set subsumes by being ⊆; otherwise by
+/// being ⊇), append below the bound, round-robin overwrite past it.
+/// Entries from a different universe are never comparable.
+template <std::size_t kBound>
+void insert_monotone(std::vector<NodeSet>& pool, std::size_t& rr,
+                     const NodeSet& candidate, bool keep_smaller) {
+  for (NodeSet& existing : pool) {
+    const bool dominated =
+        existing.universe_size() == candidate.universe_size() &&
+        (keep_smaller ? candidate.subset_of(existing)
+                      : existing.subset_of(candidate));
+    if (dominated) {
+      existing = candidate;
+      return;
+    }
+  }
+  if (pool.size() < kBound) {
+    pool.push_back(candidate);
+  } else {
+    pool[rr] = candidate;
+    rr = (rr + 1) % pool.size();
+  }
+}
+}  // namespace
+
+bool QuorumEngine::blocked_for(QSetId id, const NodeSet& nodes) {
+  // The rescan baseline evaluates once per check regardless.
+  ++stats_.qset_evals_baseline;
+  BlockTiers& tiers = block_tiers_[id];
+  for (const NodeSet& blocking : tiers.blocking_) {
+    if (blocking.universe_size() == nodes.universe_size() &&
+        blocking.subset_of(nodes)) {
+      return true;
+    }
+  }
+  for (const NodeSet& nonblocking : tiers.nonblocking_) {
+    if (nonblocking.universe_size() == nodes.universe_size() &&
+        nodes.subset_of(nonblocking)) {
+      return false;
+    }
+  }
+  const bool blocked = eval_blocked(id, nodes);
+  if (blocked) {
+    insert_monotone<kMaxMonotone>(tiers.blocking_, tiers.blocking_rr_, nodes,
+                                  /*keep_smaller=*/true);
+  } else {
+    insert_monotone<kMaxMonotone>(tiers.nonblocking_, tiers.nonblocking_rr_,
+                                  nodes, /*keep_smaller=*/false);
+  }
+  return blocked;
+}
+
+void QuorumEngine::insert_tier(std::vector<MonotoneEntry>& pool,
+                               std::size_t& rr, MonotoneEntry entry,
+                               bool keep_smaller) {
+  for (MonotoneEntry& existing : pool) {
+    const bool comparable =
+        existing.member == entry.member &&
+        existing.set.universe_size() == entry.set.universe_size();
+    const bool dominated =
+        comparable && (keep_smaller ? entry.set.subset_of(existing.set)
+                                    : existing.set.subset_of(entry.set));
+    if (dominated) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  if (pool.size() < kMaxMonotone) {
+    pool.push_back(std::move(entry));
+  } else {
+    pool[rr] = std::move(entry);
+    rr = (rr + 1) % pool.size();
+  }
+}
+
+void QuorumEngine::memoize(const NodeSet& support, ClosureEntry entry) {
+  // Both bounds guard Byzantine-driven churn: the map against unbounded
+  // distinct supports, the per-support vector against a sender re-binding
+  // its qset over and over (each rebind mints a fresh fingerprint).
+  if (closure_memo_.size() >= kMaxClosureMemo) closure_memo_.clear();
+  auto& entries = closure_memo_[support];
+  if (entries.size() >= 8) entries.clear();
+  entries.push_back(entry);
+}
+
+std::uint64_t QuorumEngine::assignment_fp(const NodeSet& set,
+                                          ProcessId member,
+                                          const std::vector<QSetId>& qset_ids) {
+  std::uint64_t h = hash_mix(0x9d2c5680u, member);
+  for (ProcessId id : set) {
+    h = hash_mix(h, id, id < qset_ids.size() ? qset_ids[id] : kNoQSetId);
+  }
+  return h;
+}
+
+bool QuorumEngine::quorum_contains(const NodeSet& support, ProcessId member,
+                                   const std::vector<QSetId>& qset_ids) {
+  if (!support.contains(member)) return false;
+  // Monotone tiers first; every entry re-validates by recomputing the
+  // fingerprint of ITS OWN set under the caller's current assignment —
+  // stale entries (a member re-announced a different qset) just stop
+  // matching. The baseline (closure from scratch on `support`) costs at
+  // least one full pass — |support| evaluations — so that is what a
+  // subsumption hit conservatively charges it (realized savings are
+  // under-reported, never inflated).
+  for (const MonotoneEntry& quorum : known_quorums_) {
+    if (quorum.member == member &&
+        quorum.set.universe_size() == support.universe_size() &&
+        quorum.set.subset_of(support) &&
+        quorum.fp == assignment_fp(quorum.set, member, qset_ids)) {
+      ++stats_.closure_cache_hits;
+      stats_.qset_evals_baseline += support.count();
+      return true;
+    }
+  }
+  for (const MonotoneEntry& failed : failed_supports_) {
+    if (failed.member == member &&
+        failed.set.universe_size() == support.universe_size() &&
+        support.subset_of(failed.set) &&
+        failed.fp == assignment_fp(failed.set, member, qset_ids)) {
+      ++stats_.closure_cache_hits;
+      stats_.qset_evals_baseline += support.count();
+      return false;
+    }
+  }
+  const std::uint64_t fp = assignment_fp(support, member, qset_ids);
+  const auto memo_it = closure_memo_.find(support);
+  if (memo_it != closure_memo_.end()) {
+    for (const ClosureEntry& entry : memo_it->second) {
+      if (entry.fp == fp) {
+        ++stats_.closure_cache_hits;
+        // The baseline would have re-run the whole closure; charge it the
+        // cost the original run actually measured.
+        stats_.qset_evals_baseline += entry.evals;
+        return entry.contains;
+      }
+    }
+  }
+
+  // First-pass reject: if `member`'s own qset is not satisfied by the full
+  // support, the first closure pass removes it — FALSE at one evaluation,
+  // where the baseline's first pass alone costs |support|. Memoized like a
+  // full run (repeats are free; the baseline keeps paying per check), and
+  // fed to the failed tier so subsets are rejected without any lookup.
+  const QSetId member_qid =
+      member < qset_ids.size() ? qset_ids[member] : kNoQSetId;
+  if (member_qid == kNoQSetId) return false;
+  const auto support_size = static_cast<std::uint32_t>(support.count());
+  if (!eval_satisfied(member_qid, support)) {
+    ++stats_.closure_runs;
+    stats_.qset_evals_baseline += support_size;
+    memoize(support, ClosureEntry{fp, false, support_size});
+    insert_tier(failed_supports_, failed_rr_, MonotoneEntry{support, fp, member},
+                /*keep_smaller=*/false);
+    return false;
+  }
+
+  ++stats_.closure_runs;
+  // Algorithm-1 greatest fixpoint at QSET-GROUP granularity — the payoff
+  // of hash-consing. satisfied_by depends on the evaluated set, not on
+  // which member asks, so members sharing an interned qset are
+  // interchangeable: each pass evaluates each DISTINCT qset id once
+  // (typically a handful) instead of every member, and an unsatisfied
+  // group's members are removed as a batch. Every batched removal is
+  // individually justified at removal time, so this is a chaotic
+  // iteration of the same monotone operator as the historical
+  // member-at-a-time loop — identical greatest fixpoint, identical
+  // verdict.
+  //
+  // Baseline accounting is a provable LOWER bound of the historical
+  // loop's cost: its first pass evaluated exactly |support| members, and
+  // every later pass at least the members still alive when the pass
+  // ended. Savings are under-reported, never inflated.
+  NodeSet live = support;
+  std::uint32_t baseline_cost = support_size;  // historical pass 1
+  bool changed = true;
+  std::size_t pass = 0;
+  while (changed && live.contains(member)) {
+    changed = false;
+    ++pass;
+    qid_scratch_.clear();
+    for (ProcessId id : live) {
+      const QSetId qid = id < qset_ids.size() ? qset_ids[id] : kNoQSetId;
+      bool seen = false;
+      for (QSetId s : qid_scratch_) {
+        if (s == qid) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) qid_scratch_.push_back(qid);
+    }
+    for (QSetId qid : qid_scratch_) {
+      if (qid != kNoQSetId && eval_satisfied(qid, live)) continue;
+      for (ProcessId id : live) {
+        const QSetId mqid = id < qset_ids.size() ? qset_ids[id] : kNoQSetId;
+        if (mqid == qid) live.remove(id);
+      }
+      changed = true;
+      if (!live.contains(member)) break;  // verdict settled: FALSE
+    }
+    if (pass > 1) baseline_cost += static_cast<std::uint32_t>(live.count());
+  }
+  const bool contains = live.contains(member);
+  stats_.qset_evals_baseline += baseline_cost;
+  memoize(support, ClosureEntry{fp, contains, baseline_cost});
+
+  // Feed the monotone tiers: `live` is a fixpoint (a quorum) when it kept
+  // `member`; `support` is a proven-failed set otherwise. Entries carry
+  // the fingerprint of their own members' assignment for re-validation.
+  if (contains) {
+    insert_tier(known_quorums_, quorum_rr_,
+                MonotoneEntry{live, assignment_fp(live, member, qset_ids),
+                              member},
+                /*keep_smaller=*/true);
+  } else {
+    insert_tier(failed_supports_, failed_rr_, MonotoneEntry{support, fp, member},
+                /*keep_smaller=*/false);
+  }
+  return contains;
+}
+
+}  // namespace scup::fbqs

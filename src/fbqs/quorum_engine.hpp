@@ -1,0 +1,200 @@
+// QuorumEngine — the shared evaluation layer for federated voting.
+//
+// Production SCP implementations do not re-walk quorum-set trees on every
+// federated-voting check; they intern quorum sets once (replicas
+// overwhelmingly share identical configurations) and memoize the expensive
+// transitive checks. This engine provides the same three services to every
+// SCP slot of a process:
+//
+//  1. Hash-consed QSet interning: structurally identical QSets get one
+//     QSetId; "did this sender's qset change?" becomes an id compare, and a
+//     LedgerMultiplexer running hundreds of slots stores each distinct qset
+//     once instead of once per (slot, sender).
+//  2. A flattened, non-recursive evaluation form: each interned QSet is
+//     compiled into a post-order array of threshold nodes (children before
+//     parents), so satisfied_by / blocked_by are two tight loops over
+//     contiguous memory — no pointer chasing, no recursion, no risk from
+//     adversarially deep nesting at evaluation time.
+//  3. Algorithm-1 closure with memoization: quorum_contains() runs the
+//     greatest-fixpoint member-removal loop and caches the verdict keyed on
+//     the support-set fingerprint. Different predicates that gather the same
+//     support set (the common case inside one ScpNode::advance() fixpoint —
+//     many candidate ballots, one set of believers) share a single closure
+//     run. The cache is owned by the caller (one per slot) because the
+//     verdict also depends on the caller's per-sender qset assignment; the
+//     caller clears it whenever any tracked qset id changes.
+//
+// All work is counted in QuorumEngineStats, E11-style: `qset_evals` is what
+// we actually paid, `qset_evals_baseline` is what the rescan-everything
+// baseline would have paid for the same query stream (on a cache hit the
+// stored cost of the original run is charged to the baseline only).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/node_set.hpp"
+#include "fbqs/qset.hpp"
+
+namespace scup::fbqs {
+
+/// Dense id of an interned QSet within one QuorumEngine.
+using QSetId = std::uint32_t;
+inline constexpr QSetId kNoQSetId = 0xffff'ffffu;
+
+struct QuorumEngineStats {
+  /// Flattened QSet evaluations actually run (satisfied_by + blocked_by).
+  std::uint64_t qset_evals = 0;
+  /// Evaluations the recompute-every-check baseline would have run.
+  std::uint64_t qset_evals_baseline = 0;
+  /// Algorithm-1 closures executed (cache misses).
+  std::uint64_t closure_runs = 0;
+  /// Closure verdicts served from a support-fingerprint cache.
+  std::uint64_t closure_cache_hits = 0;
+  /// intern() calls resolved to an already-interned id.
+  std::uint64_t intern_hits = 0;
+  /// Incremental support-view maintenance (bumped by ScpNode; kept here so
+  /// a shared engine aggregates them across slots).
+  std::uint64_t support_updates = 0;
+  std::uint64_t support_rebuilds = 0;
+
+  bool operator==(const QuorumEngineStats&) const = default;
+};
+
+class QuorumEngine {
+ public:
+  QuorumEngine() = default;
+
+  /// Hash-conses `q`: returns the existing id when a structurally equal
+  /// QSet was interned before, otherwise compiles the flattened form.
+  QSetId intern(const QSet& q);
+
+  const QSet& qset(QSetId id) const { return interned_[id].qset; }
+  std::size_t interned_count() const { return interned_.size(); }
+
+  /// Flattened equivalents of QSet::satisfied_by / QSet::blocked_by.
+  /// Each call counts one qset_eval (and one baseline eval: the rescan
+  /// baseline ran exactly one such evaluation per check too). These are
+  /// the raw entry points; blocked_for / quorum_contains are the memoized
+  /// ones the SCP hot path uses.
+  bool satisfied_by(QSetId id, const NodeSet& nodes);
+  bool blocked_by(QSetId id, const NodeSet& nodes);
+
+  /// blocked_by with a per-qset monotone memo (blocked_by is monotone in
+  /// `nodes`: supersets of a blocking set block, subsets of a non-blocking
+  /// set don't). Keyed by the immutable QSetId, so the memo is shared by
+  /// every slot evaluating against the same interned qset and never needs
+  /// invalidation. A hit costs zero evaluations while the rescan baseline
+  /// still pays its one evaluation per check.
+  bool blocked_for(QSetId id, const NodeSet& nodes);
+
+  /// Algorithm-1 closure membership: starting from `support`, repeatedly
+  /// removes members whose qset (qset_ids[member]; kNoQSetId members are
+  /// removed) is not satisfied by the surviving set, and reports whether
+  /// `member` survives the greatest fixpoint.
+  ///
+  /// Memoized engine-wide with SELF-VALIDATING entries: a verdict for
+  /// support S depends only on (member, S, qset id of each member of S),
+  /// so every cached entry carries a fingerprint of exactly that — lookups
+  /// recompute the fingerprint under the caller's current assignment and
+  /// only accept a match. No epoch, no clears: a sender re-announcing with
+  /// a different qset simply stops matching old entries, and all slots of
+  /// one replica share every still-valid verdict. Three tiers:
+  ///  - known quorums: closure fixpoints that kept `member`. satisfied_by
+  ///    is monotone in the node set, so a fixpoint (whose members' qsets
+  ///    are unchanged) survives inside every superset — TRUE with zero
+  ///    evaluations;
+  ///  - failed supports: sets whose closure dropped `member`
+  ///    (closure(S') ⊆ closure(S) for S' ⊆ S — FALSE for subsets);
+  ///  - exact fingerprints: verdict + measured cost per support set.
+  bool quorum_contains(const NodeSet& support, ProcessId member,
+                       const std::vector<QSetId>& qset_ids);
+
+  const QuorumEngineStats& stats() const { return stats_; }
+  void count_support_update() { ++stats_.support_updates; }
+  void count_support_rebuild() { ++stats_.support_rebuilds; }
+
+ private:
+  /// One threshold node of the flattened form. Children precede parents in
+  /// `nodes_`, and a QSet's nodes are contiguous with the root last.
+  struct FlatNode {
+    std::uint32_t threshold = 0;
+    std::uint32_t validators_begin = 0;  // into validators_
+    std::uint32_t validators_end = 0;
+    std::uint32_t children_begin = 0;  // into children_ (absolute node ids)
+    std::uint32_t children_end = 0;
+  };
+  struct Interned {
+    QSet qset;
+    std::uint32_t nodes_begin = 0;  // into nodes_; root at nodes_end - 1
+    std::uint32_t nodes_end = 0;
+  };
+
+  std::uint32_t flatten(const QSet& q);  // returns root node index
+  // Raw flattened evaluations: count one qset_eval, no baseline.
+  bool eval_satisfied(QSetId id, const NodeSet& nodes);
+  bool eval_blocked(QSetId id, const NodeSet& nodes);
+
+  /// Order-independent fingerprint of (member, qset id of every id in
+  /// `set`) — everything a closure verdict for `set` depends on besides
+  /// the set itself.
+  static std::uint64_t assignment_fp(const NodeSet& set, ProcessId member,
+                                     const std::vector<QSetId>& qset_ids);
+  struct ClosureEntry;
+  void memoize(const NodeSet& support, ClosureEntry entry);
+
+  std::vector<Interned> interned_;
+  std::unordered_map<std::size_t, std::vector<QSetId>> by_hash_;
+
+  // Flattened-form pools, shared by all interned qsets.
+  std::vector<FlatNode> nodes_;
+  std::vector<ProcessId> validators_;
+  std::vector<std::uint32_t> children_;
+
+  std::vector<std::uint8_t> scratch_;  // per-node verdicts, reused
+  std::vector<QSetId> qid_scratch_;    // distinct ids per closure pass
+
+  // ---- closure memo (engine-wide, self-validating entries) ----
+  struct ClosureEntry {
+    std::uint64_t fp = 0;  // assignment_fp the verdict was computed under
+    bool contains = false;
+    /// Lower bound of what the historical member-at-a-time closure cost
+    /// for this support — charged to the baseline on every memo hit.
+    std::uint32_t evals = 0;
+  };
+  /// Bounded: cleared wholesale when it outgrows kMaxClosureMemo (keeps
+  /// Byzantine-driven support churn from accumulating unbounded state).
+  static constexpr std::size_t kMaxClosureMemo = 1 << 16;
+  std::unordered_map<NodeSet, std::vector<ClosureEntry>> closure_memo_;
+  struct MonotoneEntry {
+    NodeSet set;
+    std::uint64_t fp = 0;  // assignment_fp of `set`'s members
+    ProcessId member = kInvalidProcess;
+  };
+  static constexpr std::size_t kMaxMonotone = 16;
+  std::vector<MonotoneEntry> known_quorums_;    // keep smallest
+  std::vector<MonotoneEntry> failed_supports_;  // keep largest
+  std::size_t quorum_rr_ = 0;
+  std::size_t failed_rr_ = 0;
+  /// Shared bounded-insert policy for both MonotoneEntry tiers (replace a
+  /// dominated comparable entry, append under the bound, else round-robin).
+  static void insert_tier(std::vector<MonotoneEntry>& pool, std::size_t& rr,
+                          MonotoneEntry entry, bool keep_smaller);
+
+  // ---- v-blocking memo, per interned qset (ids are immutable) ----
+  struct BlockTiers {
+    std::vector<NodeSet> blocking_;     // keep smallest
+    std::vector<NodeSet> nonblocking_;  // keep largest
+    std::size_t blocking_rr_ = 0;
+    std::size_t nonblocking_rr_ = 0;
+  };
+  std::unordered_map<QSetId, BlockTiers> block_tiers_;
+
+  QuorumEngineStats stats_;
+};
+
+/// Structural hash of a QSet (iterative; used by interning and tests).
+std::size_t qset_hash(const QSet& q);
+
+}  // namespace scup::fbqs

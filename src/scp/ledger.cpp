@@ -1,7 +1,5 @@
 #include "scp/ledger.hpp"
 
-#include <stdexcept>
-
 #include "common/rng.hpp"
 
 namespace scup::scp {
@@ -20,19 +18,20 @@ void LedgerMultiplexer::SlotHost::host_set_timer(int timer_id,
   if (timer_id != kScpBallotTimerId) {
     throw std::logic_error("SlotHost: unexpected timer id");
   }
-  mux_.host_.host_set_timer(
-      kLedgerTimerBase + static_cast<int>(slot_), delay);
+  mux_.host_.host_set_timer(ledger_timer_id(slot_), delay);
 }
 
 LedgerMultiplexer::LedgerMultiplexer(sim::ProtocolHost& host,
                                      std::size_t universe, fbqs::QSet qset,
                                      std::size_t target_slots,
-                                     ScpConfig scp_config)
+                                     ScpConfig scp_config,
+                                     std::size_t slot_window)
     : host_(host),
       universe_(universe),
       qset_(std::move(qset)),
       target_slots_(target_slots),
       scp_config_(scp_config),
+      slot_window_(slot_window),
       peers_(universe) {}
 
 void LedgerMultiplexer::set_qset(fbqs::QSet qset) {
@@ -65,9 +64,10 @@ LedgerMultiplexer::Slot& LedgerMultiplexer::ensure_slot(std::uint64_t slot) {
   Slot s;
   s.shim = std::make_unique<SlotHost>(*this, slot);
   // The proposal value is bound at start_slot(); a placeholder keeps the
-  // (not yet started) node buffering incoming envelopes.
+  // (not yet started) node buffering incoming envelopes. All slots share
+  // the multiplexer's QuorumEngine.
   s.node = std::make_unique<ScpNode>(*s.shim, universe_, qset_,
-                                     /*own_value=*/1, scp_config_);
+                                     /*own_value=*/1, scp_config_, &engine_);
   s.node->on_decide = [this, slot](Value v) { on_decided(slot, v); };
   for (ProcessId p : peers_) s.node->add_peer(p);
   auto [inserted, _] = slots_.emplace(slot, std::move(s));
@@ -81,6 +81,7 @@ void LedgerMultiplexer::start() {
   }
   started_ = true;
   start_slot(1);
+  flush_counters();
 }
 
 void LedgerMultiplexer::start_slot(std::uint64_t slot) {
@@ -100,9 +101,18 @@ void LedgerMultiplexer::start_slot(std::uint64_t slot) {
 
 void LedgerMultiplexer::on_decided(std::uint64_t slot, Value value) {
   decisions_[slot] = value;
+  // Advance the contiguous prefix and fold the running digest — identical
+  // to rehashing decisions 1..prefix from scratch, without the O(k) walk
+  // per decision that made on_decided O(k²) per run.
+  while (true) {
+    const auto it = decisions_.find(decided_prefix_ + 1);
+    if (it == decisions_.end()) break;
+    ++decided_prefix_;
+    digest_ = hash_mix(digest_, decided_prefix_, it->second);
+  }
   if (on_slot_decided) on_slot_decided(slot, value);
   // Open the next slot once this one (and all before it) are closed.
-  if (slot + 1 == next_to_start_ && decided_slots() >= slot) {
+  if (slot + 1 == next_to_start_ && decided_prefix_ >= slot) {
     start_slot(slot + 1);
   }
 }
@@ -114,8 +124,16 @@ bool LedgerMultiplexer::handle(ProcessId from, const sim::Message& msg) {
       (target_slots_ != 0 && wrapped->slot > target_slots_)) {
     return true;  // out of range; drop
   }
+  // Byzantine memory-bomb bound: only slots within the window past the
+  // next slot to start may allocate (or reach) an ScpNode. A peer cannot
+  // honestly be further ahead than its quorums, so nothing is lost.
+  if (wrapped->slot >= next_to_start_ + slot_window_) {
+    ++envelopes_dropped_;
+    return true;
+  }
   Slot& s = ensure_slot(wrapped->slot);
   s.node->handle(from, wrapped->envelope);
+  flush_counters();
   return true;
 }
 
@@ -124,15 +142,12 @@ bool LedgerMultiplexer::on_timer(int timer_id) {
   const std::uint64_t slot =
       static_cast<std::uint64_t>(timer_id - kLedgerTimerBase);
   const auto it = slots_.find(slot);
-  if (it == slots_.end()) return true;
+  // Claim only ids that map to one of our slots: a composed protocol is
+  // free to use other high timer ids (the old code swallowed them all).
+  if (it == slots_.end()) return false;
   it->second.node->on_ballot_timer();
+  flush_counters();
   return true;
-}
-
-std::uint64_t LedgerMultiplexer::decided_slots() const {
-  std::uint64_t k = 0;
-  while (decisions_.count(k + 1) > 0) ++k;
-  return k;
 }
 
 bool LedgerMultiplexer::slot_decided(std::uint64_t slot) const {
@@ -147,13 +162,8 @@ Value LedgerMultiplexer::slot_decision(std::uint64_t slot) const {
   return it->second;
 }
 
-std::uint64_t LedgerMultiplexer::chain_digest() const {
-  std::uint64_t h = 0;
-  const std::uint64_t k = decided_slots();
-  for (std::uint64_t slot = 1; slot <= k; ++slot) {
-    h = hash_mix(h, slot, decisions_.at(slot));
-  }
-  return h;
+void LedgerMultiplexer::flush_counters() {
+  flush_quorum_counters(host_, engine_.stats(), flushed_);
 }
 
 }  // namespace scup::scp

@@ -9,18 +9,49 @@
 //  - slot k starts when slot k-1 externalizes (value from a caller-supplied
 //    provider, e.g. the next transaction batch);
 //  - envelopes for not-yet-started slots are buffered by the slot's ScpNode
-//    (lazily created), so fast peers cannot outrun slow ones.
+//    (lazily created) — but ONLY within a bounded window past the next slot
+//    to start. Without the bound, one forged SlotEnvelope{slot = 10^18}
+//    stream makes a Byzantine peer allocate an ScpNode (and buffer
+//    envelopes) for any slot number it cares to name — a memory bomb in the
+//    unbounded-slots configuration. Correct peers can never run more than a
+//    couple of slots ahead (closing a slot needs a quorum that has reached
+//    it), so a small window loses nothing.
+//
+// All slots share one fbqs::QuorumEngine: quorum sets are interned once per
+// replica (not once per slot × sender) and the engine's evaluation counters
+// aggregate chain-wide, reported into SimMetrics by the multiplexer.
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "scp/scp_node.hpp"
 
 namespace scup::scp {
 
 inline constexpr int kLedgerTimerBase = 10'000;
+
+/// Default bound on how far past `next_to_start_` a SlotEnvelope may name a
+/// slot before it is dropped unprocessed.
+inline constexpr std::size_t kDefaultSlotWindow = 16;
+
+/// Timer id for a slot's ballot timer. Throws std::overflow_error instead
+/// of silently wrapping when the slot number cannot be represented (the
+/// historical `static_cast<int>(slot)` overflowed for slots past INT_MAX).
+inline int ledger_timer_id(std::uint64_t slot) {
+  constexpr auto kMax = static_cast<std::uint64_t>(
+      std::numeric_limits<int>::max() - kLedgerTimerBase);
+  if (slot > kMax) {
+    throw std::overflow_error("ledger_timer_id: slot " +
+                              std::to_string(slot) +
+                              " exceeds the timer id space");
+  }
+  return kLedgerTimerBase + static_cast<int>(slot);
+}
 
 struct SlotEnvelope final : sim::Message {
   SlotEnvelope(std::uint64_t s, Envelope e) : slot(s), envelope(std::move(e)) {}
@@ -35,10 +66,13 @@ struct SlotEnvelope final : sim::Message {
 class LedgerMultiplexer {
  public:
   /// `target_slots` — stop opening new slots after this many decisions
-  /// (0 = unbounded).
+  /// (0 = unbounded). `slot_window` — accept SlotEnvelopes only for slots
+  /// below next_to_start_ + slot_window; envelopes naming farther slots are
+  /// dropped without allocating anything (Byzantine memory-bomb bound).
   LedgerMultiplexer(sim::ProtocolHost& host, std::size_t universe,
                     fbqs::QSet qset, std::size_t target_slots,
-                    ScpConfig scp_config = {});
+                    ScpConfig scp_config = {},
+                    std::size_t slot_window = kDefaultSlotWindow);
 
   /// Supplies the proposal for each slot (must be non-zero). Required
   /// before start().
@@ -56,20 +90,30 @@ class LedgerMultiplexer {
 
   bool handle(ProcessId from, const sim::Message& msg);
 
-  /// Routes ledger timer ids; returns true if the id belonged to a slot.
+  /// Routes ledger timer ids; returns true iff the id mapped to an existing
+  /// slot (ids in the ledger range with no matching slot are NOT claimed,
+  /// so composed protocols may use high timer ids).
   bool on_timer(int timer_id);
 
   /// Number of consecutively decided slots (1..k all externalized).
-  std::uint64_t decided_slots() const;
+  /// O(1): maintained incrementally as decisions land.
+  std::uint64_t decided_slots() const { return decided_prefix_; }
   bool slot_decided(std::uint64_t slot) const;
   Value slot_decision(std::uint64_t slot) const;
 
   /// Running hash of decisions 1..decided_slots(), for chain-equality
-  /// checks across replicas.
-  std::uint64_t chain_digest() const;
+  /// checks across replicas. O(1): folded incrementally as the decided
+  /// prefix advances (identical to rehashing the prefix from scratch).
+  std::uint64_t chain_digest() const { return digest_; }
 
   /// Introspection for tests: the ScpNode of a slot, or nullptr.
   const ScpNode* slot_node(std::uint64_t slot) const;
+  /// Number of slot instances currently allocated (tests: memory bound).
+  std::size_t allocated_slots() const { return slots_.size(); }
+  /// SlotEnvelopes dropped by the far-future window bound.
+  std::uint64_t envelopes_dropped() const { return envelopes_dropped_; }
+  /// The shared quorum-evaluation layer (stats aggregate across slots).
+  const fbqs::QuorumEngine& engine() const { return engine_; }
 
  private:
   /// Per-slot host shim: namespaces messages and timers by slot.
@@ -106,17 +150,27 @@ class LedgerMultiplexer {
   Slot& ensure_slot(std::uint64_t slot);
   void start_slot(std::uint64_t slot);
   void on_decided(std::uint64_t slot, Value value);
+  void flush_counters();
 
   sim::ProtocolHost& host_;
   std::size_t universe_;
   fbqs::QSet qset_;
   std::size_t target_slots_;
   ScpConfig scp_config_;
+  std::size_t slot_window_;
   NodeSet peers_;
   bool started_ = false;
   std::uint64_t next_to_start_ = 1;
   std::map<std::uint64_t, Slot> slots_;
   std::map<std::uint64_t, Value> decisions_;
+  /// Contiguously decided prefix (1..decided_prefix_ all externalized) and
+  /// the running digest over exactly that prefix.
+  std::uint64_t decided_prefix_ = 0;
+  std::uint64_t digest_ = 0;
+  std::uint64_t envelopes_dropped_ = 0;
+  /// Shared across all slots; interning + closure memoization chain-wide.
+  fbqs::QuorumEngine engine_;
+  fbqs::QuorumEngineStats flushed_;
 };
 
 }  // namespace scup::scp

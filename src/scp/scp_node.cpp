@@ -3,19 +3,61 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/rng.hpp"
+
 namespace scup::scp {
 
+namespace {
+/// Tracked-predicate cap: past this many materialized views the table is
+/// dropped and rebuilt on demand (bounds memory against ballot churn; never
+/// hit in healthy runs).
+constexpr std::size_t kMaxTrackedPredicates = 4096;
+}  // namespace
+
+void flush_quorum_counters(sim::ProtocolHost& host,
+                           const fbqs::QuorumEngineStats& now,
+                           fbqs::QuorumEngineStats& last) {
+  using sim::ProtoCounter;
+  const auto add = [&host](ProtoCounter c, std::uint64_t cur,
+                           std::uint64_t prev) {
+    if (cur != prev) host.host_counter_add(c, cur - prev);
+  };
+  add(ProtoCounter::kQuorumClosureRuns, now.closure_runs, last.closure_runs);
+  add(ProtoCounter::kQuorumClosureCacheHits, now.closure_cache_hits,
+      last.closure_cache_hits);
+  add(ProtoCounter::kQsetEvals, now.qset_evals, last.qset_evals);
+  add(ProtoCounter::kQsetEvalsBaseline, now.qset_evals_baseline,
+      last.qset_evals_baseline);
+  add(ProtoCounter::kSupportUpdates, now.support_updates,
+      last.support_updates);
+  add(ProtoCounter::kSupportRebuilds, now.support_rebuilds,
+      last.support_rebuilds);
+  last = now;
+}
+
 ScpNode::ScpNode(sim::ProtocolHost& host, std::size_t universe,
-                 fbqs::QSet qset, Value own_value, ScpConfig config)
+                 fbqs::QSet qset, Value own_value, ScpConfig config,
+                 fbqs::QuorumEngine* engine)
     : host_(host),
       qset_(std::move(qset)),
       own_value_(own_value),
       config_(config),
-      peers_(universe) {}
+      peers_(universe),
+      owned_engine_(engine == nullptr
+                        ? std::make_unique<fbqs::QuorumEngine>()
+                        : nullptr),
+      engine_(engine == nullptr ? owned_engine_.get() : engine),
+      sender_qset_id_(universe, fbqs::kNoQSetId) {
+  // NOTE: host_.self() is not valid yet (composed hosts learn their id at
+  // install time), so self's sender_qset_id_ entry is bound lazily by the
+  // first emit; quorum checks cannot run before that.
+  own_qset_id_ = engine_->intern(qset_);
+}
 
 void ScpNode::set_qset(fbqs::QSet qset) {
   if (started_) throw std::logic_error("ScpNode::set_qset after start");
   qset_ = std::move(qset);
+  own_qset_id_ = engine_->intern(qset_);
 }
 
 void ScpNode::set_proposal(Value value) {
@@ -53,6 +95,7 @@ void ScpNode::start() {
   nom_voted_.insert(own_value_);
   emit_nomination();
   advance();
+  flush_counters();
 }
 
 bool ScpNode::handle(ProcessId from, const sim::Message& msg) {
@@ -65,6 +108,7 @@ bool ScpNode::handle(ProcessId from, const sim::Message& msg) {
   const auto it = stream.find(from);
   if (it != stream.end() && it->second.seq >= env->seq) return true;  // stale
   stream.insert_or_assign(from, *env);
+  note_statement_update(from);
 
   if (!started_) return true;  // buffered; acted on at start
 
@@ -79,64 +123,140 @@ bool ScpNode::handle(ProcessId from, const sim::Message& msg) {
     }
   }
   advance();
+  flush_counters();
   return true;
 }
 
 // ---------------------------------------------------------------- federated
 
-void ScpNode::gather(const std::map<ProcessId, Envelope>& source,
-                     const StatementPred& pred, NodeSet& out) const {
-  for (const auto& [id, env] : source) {
-    if (pred(env.statement)) out.add(id);
-  }
+std::size_t ScpNode::PredKeyHash::operator()(const PredKey& k) const {
+  return static_cast<std::size_t>(
+      hash_mix(static_cast<std::uint64_t>(k.cls), k.n, k.x));
 }
 
-bool ScpNode::is_quorum_satisfying(const StatementPred& pred) const {
-  // Supporters across both streams: a node supports the predicate if any of
-  // its current statements implies it.
-  NodeSet support(peers_.universe_size());
-  gather(latest_nom_, pred, support);
-  gather(latest_ballot_, pred, support);
-  if (!support.contains(host_.self())) return false;
+bool ScpNode::pred_holds(const PredKey& key, const Statement& s) {
+  switch (key.cls) {
+    case PredClass::kNomVote:
+      return votes_nominate(s, key.x);
+    case PredClass::kNomAccept:
+      return accepts_nominate(s, key.x);
+    case PredClass::kPrepareVote: {
+      const Ballot beta{key.n, key.x};
+      return votes_prepare(s, beta) || accepts_prepared(s, beta);
+    }
+    case PredClass::kPrepareAccept:
+      return accepts_prepared(s, Ballot{key.n, key.x});
+    case PredClass::kCommitVote:
+      return votes_commit(s, key.n, key.x) || accepts_commit(s, key.n, key.x);
+    case PredClass::kCommitAccept:
+      return accepts_commit(s, key.n, key.x);
+    case PredClass::kBallotStream:
+      return is_ballot_statement(s);
+  }
+  return false;
+}
 
-  // Algorithm-1 closure: repeatedly drop members whose quorum set is not
-  // satisfied by the remaining support (own qset for self, attached qsets
-  // for others; the ballot-stream qset wins when both exist, they are the
-  // same for correct senders anyway).
-  auto qset_of = [this](ProcessId id) -> const fbqs::QSet& {
-    if (id == host_.self()) return qset_;
-    const auto bit = latest_ballot_.find(id);
-    if (bit != latest_ballot_.end()) return bit->second.qset;
-    return latest_nom_.at(id).qset;
-  };
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (ProcessId id : support) {
-      if (!qset_of(id).satisfied_by(support)) {
-        support.remove(id);
-        changed = true;
-      }
+const NodeSet& ScpNode::support_view(const PredKey& key) const {
+  const auto it = support_.find(key);
+  if (it != support_.end()) return it->second;
+  // First query of this predicate: one scan over both streams (a sender
+  // supports it if any of its current statements implies it), then the view
+  // stays fresh via note_statement_update().
+  NodeSet s(peers_.universe_size());
+  for (const auto& [id, env] : latest_nom_) {
+    if (pred_holds(key, env.statement)) s.add(id);
+  }
+  for (const auto& [id, env] : latest_ballot_) {
+    if (pred_holds(key, env.statement)) s.add(id);
+  }
+  engine_->count_support_rebuild();
+  return support_.emplace(key, std::move(s)).first->second;
+}
+
+void ScpNode::note_statement_update(ProcessId id) {
+  const auto nom_it = latest_nom_.find(id);
+  const auto bal_it = latest_ballot_.find(id);
+  const Statement* nom =
+      nom_it == latest_nom_.end() ? nullptr : &nom_it->second.statement;
+  const Statement* bal =
+      bal_it == latest_ballot_.end() ? nullptr : &bal_it->second.statement;
+  if (support_.size() > kMaxTrackedPredicates) {
+    support_.clear();  // rebuilt lazily; counted per-view as rebuilds
+  }
+  for (auto& [key, view] : support_) {
+    const bool in = (nom != nullptr && pred_holds(key, *nom)) ||
+                    (bal != nullptr && pred_holds(key, *bal));
+    if (in) {
+      view.add(id);
+    } else {
+      view.remove(id);
     }
   }
-  return support.contains(host_.self());
+  engine_->count_support_update();
+  // Effective qset: the ballot-stream envelope wins when both exist (they
+  // are the same for correct senders anyway).
+  if (bal_it != latest_ballot_.end()) {
+    bind_qset(id, bal_it->second.qset);
+  } else if (nom_it != latest_nom_.end()) {
+    bind_qset(id, nom_it->second.qset);
+  }
 }
 
-bool ScpNode::is_vblocking(const StatementPred& pred) const {
-  NodeSet blockers(peers_.universe_size());
-  gather(latest_nom_, pred, blockers);
-  gather(latest_ballot_, pred, blockers);
+void ScpNode::bind_qset(ProcessId id, const fbqs::QSet& q) {
+  const fbqs::QSetId cur = sender_qset_id_[id];
+  // Cheap change test first: structural equality against the currently
+  // bound qset avoids re-hashing the common unchanged case. No cache to
+  // invalidate on change: the engine's closure memo entries carry a
+  // fingerprint of their members' qset assignment and re-validate on
+  // lookup, so a rebound sender just stops matching old entries.
+  if (cur != fbqs::kNoQSetId && engine_->qset(cur) == q) return;
+  sender_qset_id_[id] = engine_->intern(q);
+}
+
+bool ScpNode::support_views_consistent() const {
+  for (const auto& [key, view] : support_) {
+    NodeSet fresh(peers_.universe_size());
+    for (const auto& [id, env] : latest_nom_) {
+      if (pred_holds(key, env.statement)) fresh.add(id);
+    }
+    for (const auto& [id, env] : latest_ballot_) {
+      if (pred_holds(key, env.statement)) fresh.add(id);
+    }
+    if (!(fresh == view)) return false;
+  }
+  return true;
+}
+
+bool ScpNode::is_quorum_satisfying(const PredKey& pred) const {
+  // Supporters across both streams: a node supports the predicate if any of
+  // its current statements implies it. The Algorithm-1 closure (drop
+  // members whose quorum set is not satisfied by the remaining support)
+  // runs in the engine, memoized on the support fingerprint.
+  const NodeSet& support = support_view(pred);
+  if (!support.contains(host_.self())) return false;
+  return engine_->quorum_contains(support, host_.self(), sender_qset_id_);
+}
+
+bool ScpNode::is_vblocking(const PredKey& pred) const {
+  NodeSet blockers = support_view(pred);
   blockers.remove(host_.self());
-  return qset_.blocked_by(blockers);
+  return engine_->blocked_for(own_qset_id_, blockers);
 }
 
-bool ScpNode::federated_accept(const StatementPred& votes_or_accepts,
-                               const StatementPred& accepts) const {
+bool ScpNode::federated_accept(const PredKey& votes_or_accepts,
+                               const PredKey& accepts) const {
   return is_vblocking(accepts) || is_quorum_satisfying(votes_or_accepts);
 }
 
-bool ScpNode::federated_ratify(const StatementPred& accepts) const {
+bool ScpNode::federated_ratify(const PredKey& accepts) const {
   return is_quorum_satisfying(accepts);
+}
+
+void ScpNode::flush_counters() {
+  // Shared-engine nodes (ledger slots) don't flush: the multiplexer owns
+  // the engine and reports the aggregate.
+  if (owned_engine_ == nullptr) return;
+  flush_quorum_counters(host_, engine_->stats(), flushed_);
 }
 
 // ------------------------------------------------------------------ driving
@@ -173,9 +293,9 @@ bool ScpNode::step_nomination() {
   }
   for (Value v : seen) {
     if (nom_accepted_.count(v) == 0) {
-      const bool accepted = federated_accept(
-          [v](const Statement& s) { return votes_nominate(s, v); },
-          [v](const Statement& s) { return accepts_nominate(s, v); });
+      const bool accepted =
+          federated_accept(PredKey{PredClass::kNomVote, 0, v},
+                           PredKey{PredClass::kNomAccept, 0, v});
       if (accepted) {
         nom_accepted_.insert(v);
         nom_voted_.insert(v);
@@ -183,9 +303,7 @@ bool ScpNode::step_nomination() {
       }
     }
     if (nom_accepted_.count(v) > 0 && candidates_.count(v) == 0) {
-      if (federated_ratify([v](const Statement& s) {
-            return accepts_nominate(s, v);
-          })) {
+      if (federated_ratify(PredKey{PredClass::kNomAccept, 0, v})) {
         candidates_.insert(v);
         changed = true;
       }
@@ -209,8 +327,7 @@ bool ScpNode::maybe_start_ballot() {
   } else {
     // Catch-up: if a v-blocking set has moved to the ballot protocol, adopt
     // the value of the highest working ballot among them.
-    if (!is_vblocking(
-            [](const Statement& s) { return is_ballot_statement(s); })) {
+    if (!is_vblocking(PredKey{PredClass::kBallotStream, 0, 0})) {
       return false;
     }
     Ballot best;
@@ -270,11 +387,9 @@ bool ScpNode::attempt_accept_prepared() {
   for (const Ballot& beta : candidate_ballots()) {
     // Skip if already covered by p_ or p_prime_.
     if (le_compatible(beta, p_) || le_compatible(beta, p_prime_)) continue;
-    const bool accepted = federated_accept(
-        [&beta](const Statement& s) {
-          return votes_prepare(s, beta) || accepts_prepared(s, beta);
-        },
-        [&beta](const Statement& s) { return accepts_prepared(s, beta); });
+    const bool accepted =
+        federated_accept(PredKey{PredClass::kPrepareVote, beta.n, beta.x},
+                         PredKey{PredClass::kPrepareAccept, beta.n, beta.x});
     if (!accepted) continue;
     // Update (p, p') = two highest accepted-prepared, mutually incompatible.
     if (!p_.valid() || p_ < beta) {
@@ -304,9 +419,8 @@ bool ScpNode::attempt_confirm_prepared() {
     // Can only confirm what we have accepted.
     if (!le_compatible(beta, p_) && !le_compatible(beta, p_prime_)) continue;
     if (le_compatible(beta, h_)) continue;  // already confirmed higher
-    if (federated_ratify([&beta](const Statement& s) {
-          return accepts_prepared(s, beta);
-        })) {
+    if (federated_ratify(
+            PredKey{PredClass::kPrepareAccept, beta.n, beta.x})) {
       if (!h_.valid() || h_ < beta) {
         h_ = beta;
         changed = true;
@@ -370,11 +484,9 @@ bool ScpNode::attempt_accept_commit() {
   bool changed = false;
   for (std::uint32_t n : commit_boundaries(x)) {
     if (commit_c_n_ != 0 && commit_c_n_ <= n && n <= commit_h_n_) continue;
-    const bool accepted = federated_accept(
-        [n, x](const Statement& s) {
-          return votes_commit(s, n, x) || accepts_commit(s, n, x);
-        },
-        [n, x](const Statement& s) { return accepts_commit(s, n, x); });
+    const bool accepted =
+        federated_accept(PredKey{PredClass::kCommitVote, n, x},
+                         PredKey{PredClass::kCommitAccept, n, x});
     if (!accepted) continue;
     if (commit_c_n_ == 0) {
       commit_c_n_ = commit_h_n_ = n;
@@ -400,9 +512,7 @@ bool ScpNode::attempt_confirm_commit() {
   bool changed = false;
   for (std::uint32_t n : commit_boundaries(x)) {
     if (ext_c_n_ != 0 && ext_c_n_ <= n && n <= ext_h_n_) continue;
-    if (!federated_ratify([n, x](const Statement& s) {
-          return accepts_commit(s, n, x);
-        })) {
+    if (!federated_ratify(PredKey{PredClass::kCommitAccept, n, x})) {
       continue;
     }
     if (ext_c_n_ == 0) {
@@ -418,6 +528,9 @@ bool ScpNode::attempt_confirm_commit() {
   phase_ = Phase::kExternalize;
   decided_ = x;
   emit_ballot();
+  // No federated check runs after externalization (nomination and ballot
+  // steps are both gated on !decided_ / phase); drop the support views.
+  support_.clear();
   if (on_decide) on_decide(x);
   return true;
 }
@@ -431,8 +544,12 @@ Statement ScpNode::ballot_statement() const {
       s.b = b_;
       s.p = p_;
       s.p_prime = p_prime_;
-      s.c_n = c_.valid() ? c_.n : 0;
       s.h_n = h_.valid() && compatible(h_, b_) ? h_.n : 0;
+      // A commit-vote range is only meaningful under its confirmed-prepared
+      // upper bound: when h is suppressed (incompatible with b), suppress c
+      // too instead of publishing the malformed range [c_n, 0]. Invariant:
+      // c_n != 0 ⇒ c_n <= h_n.
+      s.c_n = c_.valid() && c_.n <= s.h_n ? c_.n : 0;
       return s;
     }
     case Phase::kConfirm: {
@@ -460,6 +577,7 @@ void ScpNode::emit_nomination() {
   Envelope env(host_.self(), seq_, qset_,
                Statement{NominateStmt{nom_voted_, nom_accepted_}});
   latest_nom_.insert_or_assign(host_.self(), env);
+  note_statement_update(host_.self());
   const auto msg = std::make_shared<const Envelope>(std::move(env));
   for (ProcessId peer : peers_) host_.host_send(peer, msg);
 }
@@ -468,6 +586,7 @@ void ScpNode::emit_ballot() {
   ++seq_;
   Envelope env(host_.self(), seq_, qset_, ballot_statement());
   latest_ballot_.insert_or_assign(host_.self(), env);
+  note_statement_update(host_.self());
   const auto msg = std::make_shared<const Envelope>(std::move(env));
   for (ProcessId peer : peers_) host_.host_send(peer, msg);
 }
@@ -492,6 +611,7 @@ void ScpNode::on_ballot_timer() {
   arm_ballot_timer();
   emit_ballot();
   advance();
+  flush_counters();
 }
 
 Value ScpNode::decision() const {

@@ -16,15 +16,28 @@
 //  - A node stuck in nomination adopts the value of the highest ballot of a
 //    v-blocking set that has moved on (stellar-core's catch-up rule), which
 //    lets non-sink nodes follow the sink.
+//
+// Evaluation strategy: federated-voting checks run on a fbqs::QuorumEngine
+// (shared across slots when hosted by a LedgerMultiplexer). Instead of
+// re-gathering supporters from the envelope maps on every check, the node
+// maintains materialized support sets per queried predicate — refreshed
+// incrementally as envelopes arrive — and the engine memoizes the
+// Algorithm-1 closure on the support-set fingerprint, so the many
+// predicates of one advance() fixpoint (candidate ballots × vote/accept
+// classes) are answered by a handful of closure runs.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "common/node_set.hpp"
 #include "fbqs/qset.hpp"
+#include "fbqs/quorum_engine.hpp"
 #include "scp/envelope.hpp"
 #include "sim/host.hpp"
 
@@ -41,12 +54,22 @@ struct ScpConfig {
   std::uint32_t timeout_growth_cap = 50;
 };
 
+/// Adds the engine-stat growth since `last` to the host's SimMetrics
+/// protocol counters and advances `last`. Called by whoever owns the engine
+/// (a standalone ScpNode, or the LedgerMultiplexer for its shared engine).
+void flush_quorum_counters(sim::ProtocolHost& host,
+                           const fbqs::QuorumEngineStats& now,
+                           fbqs::QuorumEngineStats& last);
+
 class ScpNode {
  public:
   /// `universe` is the total number of process ids (needed at construction
-  /// time, before the host is attached to a simulation).
+  /// time, before the host is attached to a simulation). `engine` is the
+  /// shared quorum-evaluation layer; when null the node owns a private one
+  /// (and flushes its counters to the host itself).
   ScpNode(sim::ProtocolHost& host, std::size_t universe, fbqs::QSet qset,
-          Value own_value, ScpConfig config = {});
+          Value own_value, ScpConfig config = {},
+          fbqs::QuorumEngine* engine = nullptr);
 
   /// Replaces the quorum set (used when slices only become known after the
   /// sink detector returns). Must be called before start().
@@ -87,19 +110,67 @@ class ScpNode {
   enum class Phase { kNominate, kPrepare, kConfirm, kExternalize };
   Phase phase() const { return phase_; }
 
+  const fbqs::QuorumEngine& engine() const { return *engine_; }
+
+  /// Latest ballot-protocol envelopes by sender (self included) — lets
+  /// tests audit every statement this node currently believes / has
+  /// emitted (e.g. the PREPARE commit-range invariant).
+  const std::map<ProcessId, Envelope>& ballot_envelopes() const {
+    return latest_ballot_;
+  }
+
+  /// Debug: rebuilds every materialized support view from scratch and
+  /// compares against the incrementally maintained one. True iff all agree
+  /// (the from-scratch equivalence the unit suite pins).
+  bool support_views_consistent() const;
+
  private:
   // -- federated voting over stored envelopes (self included) --
-  using StatementPred = std::function<bool(const Statement&)>;
-  bool is_quorum_satisfying(const StatementPred& pred) const;
-  bool is_vblocking(const StatementPred& pred) const;
-  bool federated_accept(const StatementPred& votes_or_accepts,
-                        const StatementPred& accepts) const;
-  bool federated_ratify(const StatementPred& accepts) const;
+
+  /// A predicate over statements, in first-order form so support for it can
+  /// be materialized and updated incrementally: class + (n, x) parameters.
+  enum class PredClass : std::uint8_t {
+    kNomVote,         // votes-or-accepts nominate(x)
+    kNomAccept,       // accepts nominate(x)
+    kPrepareVote,     // votes prepare((n,x)) or accepts prepared((n,x))
+    kPrepareAccept,   // accepts prepared((n,x))
+    kCommitVote,      // votes commit(n,x) or accepts commit(n,x)
+    kCommitAccept,    // accepts commit(n,x)
+    kBallotStream,    // has moved to the ballot protocol (any statement)
+  };
+  struct PredKey {
+    PredClass cls = PredClass::kBallotStream;
+    std::uint32_t n = 0;
+    Value x = 0;
+    bool operator==(const PredKey&) const = default;
+  };
+  struct PredKeyHash {
+    std::size_t operator()(const PredKey& k) const;
+  };
+
+  static bool pred_holds(const PredKey& key, const Statement& s);
+
+  bool is_quorum_satisfying(const PredKey& pred) const;
+  bool is_vblocking(const PredKey& pred) const;
+  bool federated_accept(const PredKey& votes_or_accepts,
+                        const PredKey& accepts) const;
+  bool federated_ratify(const PredKey& accepts) const;
+
+  /// The materialized support set for a predicate: which senders' current
+  /// statements (either stream) imply it. Built by one scan on first query,
+  /// then kept fresh by note_statement_update().
+  const NodeSet& support_view(const PredKey& key) const;
+
+  /// Refreshes all support views and the effective qset id after sender
+  /// `id`'s latest statement (in either stream) changed.
+  void note_statement_update(ProcessId id);
+
+  /// Re-binds the sender's effective qset (ballot stream wins) and clears
+  /// the closure cache when the interned id actually changes.
+  void bind_qset(ProcessId id, const fbqs::QSet& q);
 
   void advance();          // run protocol steps to fixpoint
   bool step_nomination();  // returns true if state changed
-  void gather(const std::map<ProcessId, Envelope>& source,
-              const StatementPred& pred, NodeSet& out) const;
   bool step_ballot();
   bool attempt_accept_prepared();
   bool attempt_confirm_prepared();
@@ -114,6 +185,7 @@ class ScpNode {
   std::vector<Ballot> candidate_ballots() const;
   std::vector<std::uint32_t> commit_boundaries(Value x) const;
   void arm_ballot_timer();
+  void flush_counters();
 
   sim::ProtocolHost& host_;
   fbqs::QSet qset_;
@@ -147,6 +219,19 @@ class ScpNode {
   // independently, so progress on one never erases evidence for the other.
   std::map<ProcessId, Envelope> latest_nom_;
   std::map<ProcessId, Envelope> latest_ballot_;
+
+  // -- quorum evaluation layer --
+  std::unique_ptr<fbqs::QuorumEngine> owned_engine_;  // null when shared
+  fbqs::QuorumEngine* engine_;
+  fbqs::QSetId own_qset_id_ = fbqs::kNoQSetId;
+  /// Effective interned qset per sender (ballot-stream envelope wins; they
+  /// are the same for correct senders anyway). kNoQSetId = never heard.
+  std::vector<fbqs::QSetId> sender_qset_id_;
+  /// Materialized support views; `mutable` because they are a cache over
+  /// the envelope maps, lazily extended by const query paths.
+  mutable std::unordered_map<PredKey, NodeSet, PredKeyHash> support_;
+  /// Last stats snapshot flushed to SimMetrics (owned-engine nodes only).
+  fbqs::QuorumEngineStats flushed_;
 };
 
 }  // namespace scup::scp

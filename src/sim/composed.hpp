@@ -34,6 +34,9 @@ class ComposedNode : public Process, public ProtocolHost {
                    std::uint64_t token) const final {
     return verify(signer, statement, token);
   }
+  void host_counter_add(ProtoCounter counter, std::uint64_t delta) final {
+    counter_add(counter, delta);
+  }
 
  private:
   std::size_t fault_threshold_;

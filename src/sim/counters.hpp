@@ -1,0 +1,40 @@
+// Protocol instrumentation counters.
+//
+// Protocol components (SCP's QuorumEngine today; any layer tomorrow) report
+// work counters into the simulation's SimMetrics through
+// ProtocolHost::host_counter_add. The counter set is a fixed enum — not a
+// runtime registry — so ids are stable across processes and threads and
+// SimMetrics equality (the E12 serial==parallel identity check) stays a
+// plain memberwise compare.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scup::sim {
+
+enum class ProtoCounter : std::uint8_t {
+  /// Algorithm-1 closures actually executed (cache misses).
+  kQuorumClosureRuns = 0,
+  /// Closure answers served from the support-fingerprint cache.
+  kQuorumClosureCacheHits,
+  /// Flattened QSet evaluations (satisfied_by / blocked_by) actually run.
+  kQsetEvals,
+  /// Evaluations the rescan-every-check baseline would have run (counted by
+  /// the same code path; the E13 savings denominator).
+  kQsetEvalsBaseline,
+  /// Incremental support-view refreshes (one per tracked envelope change).
+  kSupportUpdates,
+  /// Support views built from scratch (first query of a predicate, or
+  /// rebuild after a cap eviction).
+  kSupportRebuilds,
+  kCount,
+};
+
+inline constexpr std::size_t kProtoCounterCount =
+    static_cast<std::size_t>(ProtoCounter::kCount);
+
+/// Stable report-time name ("scp.closure_runs", ...).
+const char* proto_counter_name(ProtoCounter c);
+
+}  // namespace scup::sim

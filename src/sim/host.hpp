@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "sim/counters.hpp"
 #include "sim/message.hpp"
 
 namespace scup::sim {
@@ -30,6 +31,14 @@ class ProtocolHost {
   virtual std::uint64_t host_sign(std::uint64_t statement) const = 0;
   virtual bool host_verify(ProcessId signer, std::uint64_t statement,
                            std::uint64_t token) const = 0;
+
+  /// Reports protocol work into the simulation's SimMetrics (see
+  /// sim/counters.hpp). Default no-op so host fakes and shims that do not
+  /// track metrics need no changes.
+  virtual void host_counter_add(ProtoCounter counter, std::uint64_t delta) {
+    (void)counter;
+    (void)delta;
+  }
 };
 
 }  // namespace scup::sim

@@ -4,6 +4,7 @@
 #include "common/node_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/counters.hpp"
 #include "sim/message.hpp"
 
 namespace scup::sim {
@@ -66,6 +67,10 @@ class Process {
   std::uint64_t sign(std::uint64_t statement) const;
   bool verify(ProcessId signer, std::uint64_t statement,
               std::uint64_t token) const;
+
+  /// Adds to one of the simulation's protocol instrumentation counters
+  /// (SimMetrics::protocol_counters).
+  void counter_add(ProtoCounter counter, std::uint64_t delta);
 
  private:
   friend class Simulation;

@@ -23,6 +23,29 @@ std::map<std::string, std::size_t> SimMetrics::bytes_by_type() const {
   return stringify_by_type(bytes_by_type_id);
 }
 
+const char* proto_counter_name(ProtoCounter c) {
+  switch (c) {
+    case ProtoCounter::kQuorumClosureRuns: return "scp.closure_runs";
+    case ProtoCounter::kQuorumClosureCacheHits: return "scp.closure_cache_hits";
+    case ProtoCounter::kQsetEvals: return "scp.qset_evals";
+    case ProtoCounter::kQsetEvalsBaseline: return "scp.qset_evals_baseline";
+    case ProtoCounter::kSupportUpdates: return "scp.support_updates";
+    case ProtoCounter::kSupportRebuilds: return "scp.support_rebuilds";
+    case ProtoCounter::kCount: break;
+  }
+  return "scp.unknown";
+}
+
+std::map<std::string, std::uint64_t> SimMetrics::protocol_counters_by_name()
+    const {
+  std::map<std::string, std::uint64_t> result;
+  for (std::size_t i = 0; i < kProtoCounterCount; ++i) {
+    result[proto_counter_name(static_cast<ProtoCounter>(i))] =
+        protocol_counters[i];
+  }
+  return result;
+}
+
 Simulation::Simulation(std::size_t n, NetworkConfig config)
     : Simulation(n, config, std::make_unique<UniformModel>(config)) {}
 
@@ -319,6 +342,10 @@ std::uint64_t Process::sign(std::uint64_t statement) const {
 bool Process::verify(ProcessId signer, std::uint64_t statement,
                      std::uint64_t token) const {
   return sim_->notary().verify(signer, statement, token);
+}
+
+void Process::counter_add(ProtoCounter counter, std::uint64_t delta) {
+  sim_->metrics_.protocol_counters[static_cast<std::size_t>(counter)] += delta;
 }
 
 }  // namespace scup::sim

@@ -14,6 +14,7 @@
 // directions (no sends, no deliveries, no timer fires after the crash).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -23,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/counters.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/message.hpp"
 #include "sim/network_model.hpp"
@@ -44,6 +46,12 @@ struct SimMetrics {
   /// Sends the NetworkModel lost (pre-GST loss) / duplicated.
   std::size_t messages_dropped = 0;
   std::size_t messages_duplicated = 0;
+  /// Protocol instrumentation (sim/counters.hpp), reported by protocol
+  /// components via ProtocolHost::host_counter_add — e.g. the SCP
+  /// QuorumEngine's closure/eval/cache counters (E13). Indexed by
+  /// ProtoCounter; deterministic per scenario, so the E12 serial==parallel
+  /// identity compare covers it.
+  std::array<std::uint64_t, kProtoCounterCount> protocol_counters{};
 
   bool operator==(const SimMetrics&) const = default;
 
@@ -51,6 +59,11 @@ struct SimMetrics {
   /// simulation actually sent.
   std::map<std::string, std::size_t> messages_by_type() const;
   std::map<std::string, std::size_t> bytes_by_type() const;
+  /// Report-time view of protocol_counters: counter name -> value.
+  std::map<std::string, std::uint64_t> protocol_counters_by_name() const;
+  std::uint64_t protocol_counter(ProtoCounter c) const {
+    return protocol_counters[static_cast<std::size_t>(c)];
+  }
 };
 
 class Simulation {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/adversaries.hpp"
 #include "graph/generators.hpp"
 #include "graph/kosr.hpp"
@@ -132,6 +134,166 @@ TEST(LedgerTest, ChainDigestPrefixConsistency) {
     auto [it, inserted] = digest_at_height.emplace(height, d);
     EXPECT_EQ(it->second, d) << "fork at height " << height;
   }
+}
+
+/// Host fake for driving a LedgerMultiplexer without a simulation.
+class LedgerFakeHost : public sim::ProtocolHost {
+ public:
+  LedgerFakeHost(ProcessId self, std::size_t n) : self_(self), n_(n) {}
+  ProcessId self() const override { return self_; }
+  std::size_t universe() const override { return n_; }
+  std::size_t fault_threshold() const override { return 1; }
+  void host_send(ProcessId, sim::MessagePtr) override { ++sends; }
+  void host_set_timer(int timer_id, SimTime) override {
+    last_timer_id = timer_id;
+  }
+  SimTime host_now() const override { return 0; }
+  std::uint64_t host_sign(std::uint64_t) const override { return 0; }
+  bool host_verify(ProcessId, std::uint64_t, std::uint64_t) const override {
+    return true;
+  }
+
+  std::size_t sends = 0;
+  int last_timer_id = -1;
+
+ private:
+  ProcessId self_;
+  std::size_t n_;
+};
+
+scp::Envelope nominate_envelope(ProcessId sender, std::uint64_t seq,
+                                Value v) {
+  const fbqs::QSet q =
+      fbqs::QSet::threshold_of(2, std::vector<ProcessId>{0, 1, 2});
+  scp::NominateStmt nom;
+  nom.voted.insert(v);
+  return scp::Envelope(sender, seq, q, scp::Statement{nom});
+}
+
+TEST(LedgerMultiplexerTest, FarFutureSlotEnvelopesAllocateNothing) {
+  // A Byzantine peer naming slot 10^18 — and a flood of distinct far-future
+  // slots — must not allocate any per-slot state, under both the bounded
+  // and the unbounded (target_slots == 0) configurations.
+  for (const std::size_t target : {std::size_t{0}, std::size_t{5}}) {
+    LedgerFakeHost host(0, 3);
+    scp::LedgerMultiplexer mux(host, 3,
+                               fbqs::QSet::threshold_of(
+                                   2, std::vector<ProcessId>{0, 1, 2}),
+                               target);
+    mux.value_provider = [](std::uint64_t slot) { return 1000 + slot; };
+    mux.add_peer(1);
+    mux.add_peer(2);
+    mux.start();
+    const std::size_t before = mux.allocated_slots();
+
+    const std::uint64_t huge = 1'000'000'000'000'000'000ull;  // 10^18
+    EXPECT_TRUE(mux.handle(
+        1, scp::SlotEnvelope(huge, nominate_envelope(1, 1, 7))));
+    EXPECT_EQ(mux.slot_node(huge), nullptr);
+
+    // Flood: 10k distinct far-future slots from the same Byzantine peer.
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+      mux.handle(1, scp::SlotEnvelope(scp::kDefaultSlotWindow + 2 + i,
+                                      nominate_envelope(1, 2 + i, 7)));
+    }
+    EXPECT_EQ(mux.allocated_slots(), before)
+        << "target=" << target << ": flood must allocate nothing";
+    if (target == 0) {
+      // Unbounded config: only the window bound stood between the flood
+      // and 10k ScpNode allocations.
+      EXPECT_GE(mux.envelopes_dropped(), 10'001u);
+    }
+
+    // Near-future slots inside the window still buffer (fast peers must
+    // not be cut off): the last admissible slot is next_to_start_+W-1.
+    EXPECT_TRUE(mux.handle(
+        1, scp::SlotEnvelope(scp::kDefaultSlotWindow + 1,
+                             nominate_envelope(1, 50'000, 7))));
+    if (target == 0) {
+      EXPECT_NE(mux.slot_node(scp::kDefaultSlotWindow + 1), nullptr);
+      EXPECT_EQ(mux.allocated_slots(), before + 1);
+    } else {
+      // Bounded config: slots past target_slots stay out of range.
+      EXPECT_EQ(mux.slot_node(scp::kDefaultSlotWindow + 1), nullptr);
+    }
+  }
+}
+
+TEST(LedgerMultiplexerTest, OnTimerClaimsOnlyExistingSlots) {
+  LedgerFakeHost host(0, 3);
+  scp::LedgerMultiplexer mux(
+      host, 3, fbqs::QSet::threshold_of(2, std::vector<ProcessId>{0, 1, 2}),
+      3);
+  mux.value_provider = [](std::uint64_t slot) { return 1000 + slot; };
+  mux.start();
+
+  // Below the ledger range: never claimed.
+  EXPECT_FALSE(mux.on_timer(scp::kScpBallotTimerId));
+  // In range and matching the started slot: claimed.
+  EXPECT_TRUE(mux.on_timer(scp::ledger_timer_id(1)));
+  // In range but no such slot exists: NOT swallowed (the historical bug),
+  // so a composed protocol using high timer ids keeps working.
+  EXPECT_FALSE(mux.on_timer(scp::ledger_timer_id(999)));
+  EXPECT_FALSE(mux.on_timer(scp::kLedgerTimerBase + 500'000));
+}
+
+TEST(LedgerMultiplexerTest, TimerIdOverflowGuard) {
+  EXPECT_EQ(scp::ledger_timer_id(0), scp::kLedgerTimerBase);
+  EXPECT_EQ(scp::ledger_timer_id(7), scp::kLedgerTimerBase + 7);
+  // The historical static_cast<int>(slot) wrapped silently; now it throws.
+  EXPECT_THROW(scp::ledger_timer_id(1'000'000'000'000ull),
+               std::overflow_error);
+  EXPECT_THROW(
+      scp::ledger_timer_id(static_cast<std::uint64_t>(
+          std::numeric_limits<int>::max())),
+      std::overflow_error);
+  EXPECT_NO_THROW(scp::ledger_timer_id(
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max()) -
+      scp::kLedgerTimerBase));
+}
+
+TEST(LedgerTest, IncrementalDigestMatchesFromScratchRecompute) {
+  // The O(1) decided_slots / chain_digest must equal the historical O(k)
+  // recompute at every height, and stay equal across replicas.
+  LedgerHarness h(graph::fig1_graph(), 1, NodeSet(8), 4, /*seed=*/33);
+  ASSERT_TRUE(h.run());
+  for (ProcessId i : h.correct) {
+    const auto height = h.nodes[i]->decided_slots();
+    ASSERT_EQ(height, 4u);
+    std::uint64_t from_scratch = 0;
+    for (std::uint64_t s = 1; s <= height; ++s) {
+      from_scratch = hash_mix(from_scratch, s, h.nodes[i]->slot_decision(s));
+    }
+    EXPECT_EQ(h.nodes[i]->chain_digest(), from_scratch) << "i=" << i;
+    EXPECT_EQ(h.nodes[i]->chain_digest(), h.nodes[0]->chain_digest());
+  }
+}
+
+TEST(LedgerTest, SharedEngineAggregatesAcrossSlotsAndReportsMetrics) {
+  // All slots of a replica share one QuorumEngine: qsets are interned a
+  // bounded number of times (not per slot), the closure cache pays off, and
+  // the counters land in SimMetrics via the multiplexer's flush.
+  LedgerHarness h(graph::fig1_graph(), 1, graph::fig1_faulty(), 5);
+  ASSERT_TRUE(h.run());
+  const ProcessId first = h.correct.min_member();
+  const auto& stats = h.nodes[first]->quorum_stats();
+  EXPECT_GT(stats.closure_runs, 0u);
+  EXPECT_GT(stats.closure_cache_hits, 0u);
+  EXPECT_GT(stats.qset_evals_baseline, stats.qset_evals)
+      << "memoized path must beat the rescan baseline";
+  EXPECT_GT(stats.intern_hits, 0u);
+  // Distinct qsets per replica is tiny (placeholder + per-sender slices),
+  // even though 5 slots × 8 senders exchanged envelopes.
+  EXPECT_LE(h.nodes[first]->ledger().engine().interned_count(), 16u);
+
+  using sim::ProtoCounter;
+  const auto& m = h.sim->metrics();
+  EXPECT_EQ(m.protocol_counter(ProtoCounter::kQuorumClosureRuns) > 0, true);
+  EXPECT_GT(m.protocol_counter(ProtoCounter::kQsetEvalsBaseline),
+            m.protocol_counter(ProtoCounter::kQsetEvals));
+  EXPECT_GT(m.protocol_counter(ProtoCounter::kSupportUpdates), 0u);
+  // Report-time naming view covers every counter.
+  EXPECT_EQ(m.protocol_counters_by_name().size(), sim::kProtoCounterCount);
 }
 
 TEST(LedgerMultiplexerTest, RequiresValueProvider) {

@@ -1,0 +1,402 @@
+// QuorumEngine unit suite: hash-consed interning, flattened-vs-recursive
+// evaluation equivalence on randomized nested qsets, closure memoization
+// (hits, invalidation), and — at the ScpNode level — from-scratch
+// equivalence of the incrementally maintained support views against the
+// historical gather path, plus the PREPARE commit-range statement
+// invariant (c_n != 0 ⇒ c_n ≤ h_n).
+#include "fbqs/quorum_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scp/scp_node.hpp"
+#include "sim/host.hpp"
+
+namespace scup::fbqs {
+namespace {
+
+QSet random_qset(Rng& rng, std::size_t universe, int depth) {
+  std::vector<ProcessId> validators;
+  const std::size_t n_validators = 1 + rng.uniform(3);
+  for (std::size_t i = 0; i < n_validators; ++i) {
+    validators.push_back(static_cast<ProcessId>(rng.uniform(universe)));
+  }
+  std::vector<QSet> inner;
+  if (depth > 0) {
+    const std::size_t n_inner = rng.uniform(3);  // 0..2
+    for (std::size_t i = 0; i < n_inner; ++i) {
+      inner.push_back(random_qset(rng, universe, depth - 1));
+    }
+  }
+  const std::size_t elements = validators.size() + inner.size();
+  const std::size_t threshold = 1 + rng.uniform(elements);
+  return QSet(threshold, std::move(validators), std::move(inner));
+}
+
+NodeSet random_set(Rng& rng, std::size_t universe) {
+  NodeSet s(universe);
+  for (ProcessId i = 0; i < universe; ++i) {
+    if (rng.uniform(2) == 0) s.add(i);
+  }
+  return s;
+}
+
+TEST(QuorumEngineTest, InterningIdentity) {
+  QuorumEngine engine;
+  const QSet a = QSet::threshold_of(2, std::vector<ProcessId>{0, 1, 2});
+  const QSet b = QSet::threshold_of(2, std::vector<ProcessId>{0, 1, 2});
+  const QSet c = QSet::threshold_of(3, std::vector<ProcessId>{0, 1, 2});
+  const QSet nested(1, {}, {a, c});
+
+  const QSetId ia = engine.intern(a);
+  const QSetId ib = engine.intern(b);
+  const QSetId ic = engine.intern(c);
+  const QSetId in = engine.intern(nested);
+  EXPECT_EQ(ia, ib) << "structurally equal qsets must share an id";
+  EXPECT_NE(ia, ic);
+  EXPECT_NE(in, ia);
+  EXPECT_EQ(engine.interned_count(), 3u);
+  EXPECT_EQ(engine.stats().intern_hits, 1u);
+  EXPECT_TRUE(engine.qset(ia) == a);
+  EXPECT_TRUE(engine.qset(in) == nested);
+
+  // Re-interning the nested set is a hit, not a new entry.
+  EXPECT_EQ(engine.intern(nested), in);
+  EXPECT_EQ(engine.interned_count(), 3u);
+}
+
+TEST(QuorumEngineTest, FlattenedMatchesRecursiveOnRandomNestedQSets) {
+  constexpr std::size_t kUniverse = 12;
+  Rng rng(20260802);
+  QuorumEngine engine;
+  for (int trial = 0; trial < 200; ++trial) {
+    const QSet q = random_qset(rng, kUniverse, /*depth=*/3);
+    const QSetId id = engine.intern(q);
+    for (int probe = 0; probe < 10; ++probe) {
+      const NodeSet nodes = random_set(rng, kUniverse);
+      EXPECT_EQ(engine.satisfied_by(id, nodes), q.satisfied_by(nodes))
+          << "trial=" << trial << " qset=" << q.to_string()
+          << " nodes=" << nodes.to_string();
+      EXPECT_EQ(engine.blocked_by(id, nodes), q.blocked_by(nodes))
+          << "trial=" << trial << " qset=" << q.to_string()
+          << " nodes=" << nodes.to_string();
+    }
+  }
+}
+
+TEST(QuorumEngineTest, EmptyQSetSemantics) {
+  QuorumEngine engine;
+  const QSetId id = engine.intern(QSet());
+  const NodeSet none(4);
+  EXPECT_TRUE(engine.satisfied_by(id, none));   // vacuous slice
+  EXPECT_FALSE(engine.blocked_by(id, NodeSet::full(4)));
+}
+
+/// Reference closure: the historical ScpNode loop verbatim, on recursive
+/// QSet evaluation.
+bool reference_quorum_contains(const NodeSet& support, ProcessId member,
+                               const std::vector<const QSet*>& qsets) {
+  NodeSet live = support;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcessId id : live) {
+      if (qsets[id] == nullptr || !qsets[id]->satisfied_by(live)) {
+        live.remove(id);
+        changed = true;
+      }
+    }
+  }
+  return live.contains(member);
+}
+
+TEST(QuorumEngineTest, ClosureMatchesReferenceOnRandomConfigurations) {
+  constexpr std::size_t kUniverse = 10;
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    QuorumEngine engine;
+    std::vector<QSetId> ids(kUniverse, kNoQSetId);
+    std::vector<const QSet*> ref(kUniverse, nullptr);
+    std::vector<QSet> storage;
+    storage.reserve(kUniverse);
+    for (ProcessId i = 0; i < kUniverse; ++i) {
+      if (rng.uniform(8) == 0) continue;  // some processes never spoke
+      storage.push_back(random_qset(rng, kUniverse, 2));
+      ids[i] = engine.intern(storage.back());
+    }
+    // Pointers resolved after storage stops reallocating.
+    std::size_t next = 0;
+    for (ProcessId i = 0; i < kUniverse; ++i) {
+      if (ids[i] != kNoQSetId) ref[i] = &storage[next++];
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      const NodeSet support = random_set(rng, kUniverse);
+      const auto member = static_cast<ProcessId>(rng.uniform(kUniverse));
+      EXPECT_EQ(engine.quorum_contains(support, member, ids),
+                reference_quorum_contains(support, member, ref))
+          << "trial=" << trial << " support=" << support.to_string()
+          << " member=" << member;
+    }
+  }
+}
+
+TEST(QuorumEngineTest, ClosureMemoizationHitsAndSelfValidation) {
+  QuorumEngine engine;
+  constexpr std::size_t kN = 4;
+  const QSet q = QSet::threshold_of(3, std::vector<ProcessId>{0, 1, 2, 3});
+  std::vector<QSetId> ids(kN, engine.intern(q));
+  const NodeSet support = NodeSet::full(kN);
+
+  EXPECT_TRUE(engine.quorum_contains(support, 0, ids));
+  const auto runs = engine.stats().closure_runs;
+  EXPECT_EQ(runs, 1u);
+  EXPECT_EQ(engine.stats().closure_cache_hits, 0u);
+
+  // Same support + same assignment: served from cache — and the baseline
+  // is charged what the original run cost, so savings are measurable.
+  const auto baseline_before = engine.stats().qset_evals_baseline;
+  const auto evals_before = engine.stats().qset_evals;
+  EXPECT_TRUE(engine.quorum_contains(support, 0, ids));
+  EXPECT_EQ(engine.stats().closure_runs, runs);
+  EXPECT_GE(engine.stats().closure_cache_hits, 1u);
+  EXPECT_EQ(engine.stats().qset_evals, evals_before) << "hit must be free";
+  EXPECT_GT(engine.stats().qset_evals_baseline, baseline_before)
+      << "the rescan baseline would have paid for the closure again";
+
+  // A member re-announces a different qset: cached entries re-validate
+  // against the current assignment and stop matching — the verdict is
+  // recomputed, and it honours the new (stricter) qset.
+  const QSet strict = QSet::threshold_of(4, std::vector<ProcessId>{0, 1, 2, 3});
+  ids[1] = engine.intern(strict);
+  const auto hits_before = engine.stats().closure_cache_hits;
+  NodeSet three(kN, {0, 1, 2});
+  // {0,1,2} satisfies 3-of-4 for members 0 and 2 but not 1's new 4-of-4:
+  // the closure drops 1, then 0 and 2 lack their threshold — FALSE.
+  EXPECT_FALSE(engine.quorum_contains(three, 0, ids));
+  EXPECT_GT(engine.stats().closure_runs, runs);
+  EXPECT_EQ(engine.stats().closure_cache_hits, hits_before)
+      << "stale entries must not match the changed assignment";
+}
+
+}  // namespace
+}  // namespace scup::fbqs
+
+// ---------------------------------------------------------------------------
+// ScpNode-level: incremental support views vs the from-scratch gather path,
+// closure-cache invalidation on envelope (qset) change, and the PREPARE
+// statement invariant.
+// ---------------------------------------------------------------------------
+namespace scup::scp {
+namespace {
+
+class FakeHost : public sim::ProtocolHost {
+ public:
+  FakeHost(ProcessId self, std::size_t n) : self_(self), n_(n) {}
+  ProcessId self() const override { return self_; }
+  std::size_t universe() const override { return n_; }
+  std::size_t fault_threshold() const override { return 1; }
+  void host_send(ProcessId to, sim::MessagePtr msg) override {
+    sent.emplace_back(to, std::move(msg));
+  }
+  void host_set_timer(int, SimTime) override {}
+  SimTime host_now() const override { return 0; }
+  std::uint64_t host_sign(std::uint64_t) const override { return 0; }
+  bool host_verify(ProcessId, std::uint64_t, std::uint64_t) const override {
+    return true;
+  }
+  void host_counter_add(sim::ProtoCounter counter,
+                        std::uint64_t delta) override {
+    counters[static_cast<std::size_t>(counter)] += delta;
+  }
+
+  std::vector<std::pair<ProcessId, sim::MessagePtr>> sent;
+  std::array<std::uint64_t, sim::kProtoCounterCount> counters{};
+
+ private:
+  ProcessId self_;
+  std::size_t n_;
+};
+
+/// Every PREPARE this host ever saw emitted must satisfy the commit-range
+/// invariant: a commit vote range [c_n, h_n] is only published under a
+/// confirmed-prepared bound (c_n != 0 ⇒ c_n ≤ h_n).
+void expect_prepare_invariant(const FakeHost& host) {
+  for (const auto& [to, msg] : host.sent) {
+    const auto* env = dynamic_cast<const Envelope*>(msg.get());
+    if (env == nullptr) continue;
+    if (const auto* p = std::get_if<PrepareStmt>(&env->statement)) {
+      EXPECT_TRUE(p->c_n == 0 || p->c_n <= p->h_n)
+          << "malformed commit range [" << p->c_n << ", " << p->h_n << "]";
+    }
+  }
+}
+
+fbqs::QSet majority4() {
+  return fbqs::QSet::threshold_of(3, std::vector<ProcessId>{0, 1, 2, 3});
+}
+
+TEST(ScpNodeEngineTest, IncrementalSupportMatchesFromScratchThroughDecision) {
+  constexpr std::size_t kN = 4;
+  FakeHost host(0, kN);
+  ScpNode node(host, kN, majority4(), /*own_value=*/42);
+  for (ProcessId p = 1; p < kN; ++p) node.add_peer(p);
+  node.start();
+  EXPECT_TRUE(node.support_views_consistent());
+
+  // Peers nominate 42: node accepts, ratifies, moves to PREPARE.
+  for (ProcessId p = 1; p < kN; ++p) {
+    NominateStmt nom;
+    nom.voted.insert(42);
+    nom.accepted.insert(42);
+    node.handle(p, Envelope(p, 1, majority4(), Statement{nom}));
+    EXPECT_TRUE(node.support_views_consistent()) << "after nominate from " << p;
+  }
+  EXPECT_EQ(node.phase(), ScpNode::Phase::kPrepare);
+
+  // Peers prepare (1, 42); then publish the commit range; then confirm.
+  for (ProcessId p = 1; p < kN; ++p) {
+    PrepareStmt prep;
+    prep.b = Ballot{1, 42};
+    prep.p = Ballot{1, 42};
+    node.handle(p, Envelope(p, 2, majority4(), Statement{prep}));
+    EXPECT_TRUE(node.support_views_consistent()) << "after prepare from " << p;
+  }
+  for (ProcessId p = 1; p < kN; ++p) {
+    PrepareStmt prep;
+    prep.b = Ballot{1, 42};
+    prep.p = Ballot{1, 42};
+    prep.c_n = 1;
+    prep.h_n = 1;
+    node.handle(p, Envelope(p, 3, majority4(), Statement{prep}));
+    EXPECT_TRUE(node.support_views_consistent());
+  }
+  for (ProcessId p = 1; p < kN; ++p) {
+    ConfirmStmt conf;
+    conf.b = Ballot{1, 42};
+    conf.p_n = 1;
+    conf.c_n = 1;
+    conf.h_n = 1;
+    node.handle(p, Envelope(p, 4, majority4(), Statement{conf}));
+    EXPECT_TRUE(node.support_views_consistent());
+  }
+  ASSERT_TRUE(node.decided());
+  EXPECT_EQ(node.decision(), 42u);
+  expect_prepare_invariant(host);
+
+  // The memoizing path must have done real work and found real reuse.
+  const auto& s = node.engine().stats();
+  EXPECT_GT(s.closure_runs, 0u);
+  EXPECT_GT(s.closure_cache_hits, 0u);
+  EXPECT_GT(s.qset_evals_baseline, s.qset_evals)
+      << "rescan baseline should cost more than the memoized path";
+  // An owned-engine node flushes its counters to the host's SimMetrics.
+  EXPECT_EQ(host.counters[static_cast<std::size_t>(
+                sim::ProtoCounter::kQuorumClosureRuns)],
+            s.closure_runs);
+  EXPECT_EQ(host.counters[static_cast<std::size_t>(
+                sim::ProtoCounter::kQsetEvals)],
+            s.qset_evals);
+}
+
+TEST(ScpNodeEngineTest, QsetChangeInvalidatesClosureCache) {
+  constexpr std::size_t kN = 4;
+  FakeHost host(0, kN);
+  ScpNode node(host, kN, majority4(), 42);
+  for (ProcessId p = 1; p < kN; ++p) node.add_peer(p);
+  node.start();
+
+  NominateStmt nom;
+  nom.voted.insert(42);
+  nom.accepted.insert(42);
+  for (ProcessId p = 1; p < kN; ++p) {
+    node.handle(p, Envelope(p, 1, majority4(), Statement{nom}));
+  }
+  const auto runs_before = node.engine().stats().closure_runs;
+
+  // Sender 1 re-announces with a DIFFERENT qset: every cached closure
+  // verdict embeds the old assignment, so the next check must re-run even
+  // though the support sets are unchanged.
+  const fbqs::QSet other =
+      fbqs::QSet::threshold_of(2, std::vector<ProcessId>{0, 1, 2, 3});
+  NominateStmt nom2 = nom;
+  nom2.voted.insert(43);  // grow the statement so the envelope is fresh
+  node.handle(1, Envelope(1, 5, other, Statement{nom2}));
+  EXPECT_TRUE(node.support_views_consistent());
+  EXPECT_GT(node.engine().stats().closure_runs, runs_before)
+      << "qset change must invalidate the closure cache";
+}
+
+TEST(ScpNodeEngineTest, RandomizedEnvelopeFuzzKeepsViewsConsistent) {
+  constexpr std::size_t kN = 6;
+  const fbqs::QSet qa =
+      fbqs::QSet::threshold_of(4, std::vector<ProcessId>{0, 1, 2, 3, 4, 5});
+  const fbqs::QSet qb =
+      fbqs::QSet::threshold_of(3, std::vector<ProcessId>{0, 1, 2, 3, 4, 5});
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    FakeHost host(0, kN);
+    ScpNode node(host, kN, qa, 100 + seed);
+    for (ProcessId p = 1; p < kN; ++p) node.add_peer(p);
+    node.start();
+
+    std::vector<std::uint64_t> seq(kN, 0);
+    for (int step = 0; step < 120; ++step) {
+      const auto p = static_cast<ProcessId>(1 + rng.uniform(kN - 1));
+      const fbqs::QSet& q = rng.uniform(4) == 0 ? qb : qa;
+      Statement stmt;
+      switch (rng.uniform(4)) {
+        case 0: {
+          NominateStmt s;
+          const std::size_t k = 1 + rng.uniform(3);
+          for (std::size_t i = 0; i < k; ++i) {
+            const Value v = 100 + rng.uniform(4);
+            if (rng.uniform(2) == 0) s.voted.insert(v); else s.accepted.insert(v);
+          }
+          stmt = s;
+          break;
+        }
+        case 1: {
+          PrepareStmt s;
+          s.b = Ballot{1 + static_cast<std::uint32_t>(rng.uniform(3)),
+                       100 + rng.uniform(4)};
+          if (rng.uniform(2) == 0) s.p = s.b;
+          if (rng.uniform(3) == 0) {
+            s.c_n = 1;
+            s.h_n = s.b.n;
+          }
+          stmt = s;
+          break;
+        }
+        case 2: {
+          ConfirmStmt s;
+          s.b = Ballot{1 + static_cast<std::uint32_t>(rng.uniform(3)),
+                       100 + rng.uniform(4)};
+          s.p_n = s.b.n;
+          s.c_n = 1;
+          s.h_n = s.b.n;
+          stmt = s;
+          break;
+        }
+        default: {
+          ExternalizeStmt s;
+          s.commit = Ballot{1, 100 + rng.uniform(4)};
+          s.h_n = 1 + static_cast<std::uint32_t>(rng.uniform(2));
+          stmt = s;
+          break;
+        }
+      }
+      node.handle(p, Envelope(p, ++seq[p], q, std::move(stmt)));
+      ASSERT_TRUE(node.support_views_consistent())
+          << "seed=" << seed << " step=" << step;
+    }
+    expect_prepare_invariant(host);
+  }
+}
+
+}  // namespace
+}  // namespace scup::scp
