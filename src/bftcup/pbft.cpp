@@ -62,18 +62,41 @@ void PbftConsensus::start(Value proposal) {
   }
 }
 
+bool PbftConsensus::view_admissible(std::uint32_t view) const {
+  return static_cast<std::uint64_t>(view) <=
+         static_cast<std::uint64_t>(view_) + config_.view_window;
+}
+
+/// Gatekeeper for all vote bookkeeping: returns the slot for (view, value)
+/// iff `voter`'s first vote in `view` was for `value` (recording it if this
+/// is the first), nullptr on equivocation. Honest members vote for exactly
+/// one value per view, so their traffic always passes; a Byzantine member
+/// signing fresh values can allocate at most one junk slot per view.
+PbftConsensus::Slot* PbftConsensus::admit_vote(std::uint32_t view,
+                                               Value value, ProcessId voter) {
+  // Outer keys sit within the admission window and are GC'd below view_;
+  // inner keys are member ids, and a member's first vote pins its slot.
+  const auto [it, inserted] = first_vote_[view].try_emplace(voter, value);
+  if (!inserted && it->second != value) return nullptr;
+  return &slots_[{view, value}];
+}
+
 void PbftConsensus::accept_proposal(std::uint32_t view, Value value) {
   if (decided_ || view != view_ || accepted_value_) return;
   accepted_value_ = value;
   const std::uint64_t token = host_.host_sign(prepare_hash(view, value));
-  slots_[{view, value}].prepares[host_.self()] = token;
+  if (Slot* slot = admit_vote(view, value, host_.self())) {
+    slot->prepares[host_.self()] = token;
+  }
   broadcast(sim::make_message<PrepareMsg>(view, value, token));
   check_prepared(view, value);
 }
 
 void PbftConsensus::check_prepared(std::uint32_t view, Value value) {
   if (decided_) return;
-  Slot& slot = slots_[{view, value}];
+  const auto slot_it = slots_.find({view, value});
+  if (slot_it == slots_.end()) return;
+  Slot& slot = slot_it->second;
   if (slot.prepares.size() < q_) return;
   if (prepared_view_ > view ||
       (prepared_view_ == view && prepared_value_ == value)) {
@@ -93,8 +116,8 @@ void PbftConsensus::check_prepared(std::uint32_t view, Value value) {
 
 void PbftConsensus::check_committed(std::uint32_t view, Value value) {
   if (decided_) return;
-  Slot& slot = slots_[{view, value}];
-  if (slot.commits.size() < q_) return;
+  const auto slot_it = slots_.find({view, value});
+  if (slot_it == slots_.end() || slot_it->second.commits.size() < q_) return;
   decided_ = value;
   if (on_decide) on_decide(value);
 }
@@ -116,28 +139,39 @@ bool PbftConsensus::handle(ProcessId from, const sim::Message& msg) {
     return true;
   }
   if (const auto* p = dynamic_cast<const PrepareMsg*>(&msg)) {
-    if (host_.host_verify(from, prepare_hash(p->view, p->value), p->token)) {
-      slots_[{p->view, p->value}].prepares[from] = p->token;
-      if (started_) check_prepared(p->view, p->value);
+    if (view_admissible(p->view) &&
+        host_.host_verify(from, prepare_hash(p->view, p->value), p->token)) {
+      if (Slot* slot = admit_vote(p->view, p->value, from)) {
+        slot->prepares[from] = p->token;
+        if (started_) check_prepared(p->view, p->value);
+      }
     }
     return true;
   }
   if (const auto* c = dynamic_cast<const CommitMsg*>(&msg)) {
-    if (host_.host_verify(from, commit_hash(c->view, c->value), c->token)) {
-      slots_[{c->view, c->value}].commits[from] = c->token;
-      if (started_) check_committed(c->view, c->value);
+    if (view_admissible(c->view) &&
+        host_.host_verify(from, commit_hash(c->view, c->value), c->token)) {
+      if (Slot* slot = admit_vote(c->view, c->value, from)) {
+        slot->commits[from] = c->token;
+        if (started_) check_committed(c->view, c->value);
+      }
     }
     return true;
   }
   if (const auto* vc = dynamic_cast<const ViewChangeMsg*>(&msg)) {
     const ViewChangeRecord& r = vc->record;
-    if (r.sender == from && validate_record(r)) {
-      view_changes_[r.new_view][from] = r;
+    // Records for views already left behind can only justify NewView
+    // messages every recipient would ignore; dropping them keeps the
+    // view-change book within the admission window.
+    if (r.sender == from && r.new_view >= view_ &&
+        view_admissible(r.new_view) && validate_record(r)) {
+      // scup-lint: bounded(outer key within view window + GC'd below view_; inner keyed by member id)
+      auto& book = view_changes_[r.new_view];
+      book[from] = r;
       if (started_) {
         // Join a view change once f+1 members ask for a higher view (at
         // least one of them is correct).
-        if (r.new_view > view_ &&
-            view_changes_[r.new_view].size() >= f_ + 1) {
+        if (r.new_view > view_ && book.size() >= f_ + 1) {
           send_view_change(r.new_view);
         }
         try_lead_new_view(r.new_view);
@@ -200,6 +234,18 @@ void PbftConsensus::enter_view(std::uint32_t view) {
   if (view > view_) {
     view_ = view;
     accepted_value_.reset();
+    // View-change bookkeeping below the new view can no longer change the
+    // outcome — stale records only justify NewViews every recipient
+    // ignores — so drop it. Vote slots for older views stay: under
+    // asynchrony a commit quorum for a view we already left is still a
+    // legitimate (and safe) decision, and the admission bounds above cap
+    // their growth without any GC.
+    view_changes_.erase(view_changes_.begin(),
+                        view_changes_.lower_bound(view_));
+    view_change_sent_.erase(view_change_sent_.begin(),
+                            view_change_sent_.lower_bound(view_));
+    new_view_sent_.erase(new_view_sent_.begin(),
+                         new_view_sent_.lower_bound(view_));
   }
   arm_timer();
 }
@@ -250,6 +296,17 @@ void PbftConsensus::on_view_timer() {
   if (!started_ || decided_) return;
   send_view_change(view_ + 1);
   arm_timer();
+}
+
+std::size_t PbftConsensus::bookkeeping_size() const {
+  std::size_t n = slots_.size() + first_vote_.size() + view_changes_.size() +
+                  new_view_sent_.size() + view_change_sent_.size();
+  for (const auto& [key, slot] : slots_) {
+    n += slot.prepares.size() + slot.commits.size();
+  }
+  for (const auto& [view, votes] : first_vote_) n += votes.size();
+  for (const auto& [view, book] : view_changes_) n += book.size();
+  return n;
 }
 
 Value PbftConsensus::decision() const {

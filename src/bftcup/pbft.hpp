@@ -30,6 +30,12 @@ inline constexpr int kPbftTimerId = 200;
 struct PbftConfig {
   SimTime view_timeout_base = 400;
   std::uint32_t timeout_growth_cap = 32;
+  /// Admission bound on per-message view numbers: anything naming a view
+  /// more than this far ahead of the local view is dropped before it can
+  /// allocate bookkeeping. Correct members advance one view per timeout,
+  /// so a generous window never drops their traffic; a Byzantine member
+  /// naming view 2^31 no longer allocates state for it.
+  std::uint32_t view_window = 64;
 };
 
 // ---- messages ----
@@ -126,6 +132,12 @@ class PbftConsensus {
   std::size_t quorum_size() const { return q_; }
   ProcessId leader_of(std::uint32_t view) const;
 
+  /// Test hook: total live bookkeeping map nodes (vote slots and their
+  /// token entries, first-vote records, view-change books). The Byzantine
+  /// memory-bomb regression test asserts this stays within the documented
+  /// bound no matter what a faulty member signs and sends.
+  std::size_t bookkeeping_size() const;
+
   std::function<void(Value)> on_decide;
 
  private:
@@ -143,6 +155,8 @@ class PbftConsensus {
   void try_lead_new_view(std::uint32_t view);
   bool validate_record(const ViewChangeRecord& r) const;
   void arm_timer();
+  bool view_admissible(std::uint32_t view) const;
+  Slot* admit_vote(std::uint32_t view, Value value, ProcessId voter);
 
   sim::ProtocolHost& host_;
   NodeSet members_;
@@ -160,7 +174,24 @@ class PbftConsensus {
   std::vector<SignedToken> prepared_cert_;
   std::optional<Value> decided_;
 
+  // Byzantine-memory bounds on the vote bookkeeping below (this was an
+  // unbounded-allocation hole: every signed prepare/commit/view-change for
+  // an arbitrary (view, value) used to allocate a fresh map node):
+  //   * views are admitted only within [0, view_ + config_.view_window]
+  //     (view_admissible), and view_ itself only advances through f+1
+  //     genuine member timeouts — Byzantine members alone (≤ f) cannot
+  //     push it;
+  //   * each member's first signed vote per view fixes its value — a later
+  //     vote for a different value in the same view is equivocation and is
+  //     dropped (admit_vote/first_vote_), so a view holds at most |S|+1
+  //     slots and each slot at most |S| entries per phase;
+  //   * view-change records below view_ are useless and GC'd (enter_view).
+  //     Vote slots for older views are kept — a late commit quorum for a
+  //     view we already left is still a legitimate, safe decision.
+  // Net: O((view_ + view_window) × |S|²) tokens, bounded by elapsed
+  // protocol time instead of by attacker message volume.
   std::map<std::pair<std::uint32_t, Value>, Slot> slots_;
+  std::map<std::uint32_t, std::map<ProcessId, Value>> first_vote_;
   std::map<std::uint32_t, std::map<ProcessId, ViewChangeRecord>> view_changes_;
   std::map<std::uint32_t, bool> new_view_sent_;
   std::map<std::uint32_t, bool> view_change_sent_;

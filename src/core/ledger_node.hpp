@@ -42,6 +42,8 @@ class LedgerNode : public sim::ComposedNode {
     return ledger_.engine().stats();
   }
   const scp::LedgerMultiplexer& ledger() const { return ledger_; }
+  /// Mutable access for the determinism regression suite's rehash hook.
+  scp::LedgerMultiplexer& ledger() { return ledger_; }
 
  private:
   void on_sink(const sinkdetector::GetSinkResult& result);

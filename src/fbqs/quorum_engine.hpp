@@ -115,6 +115,17 @@ class QuorumEngine {
   void count_support_update() { ++stats_.support_updates; }
   void count_support_rebuild() { ++stats_.support_rebuilds; }
 
+  /// Test hook for the determinism regression suite: force every unordered
+  /// table to rehash, scrambling bucket order. All observable behaviour
+  /// (verdicts, stats, emissions) must be identical afterwards — nothing
+  /// here may depend on hash-table iteration order. Enforced by
+  /// scup-lint's det-unordered-iter rule and tests/test_determinism_rehash.
+  void debug_rehash(std::size_t bucket_count) {
+    by_hash_.rehash(bucket_count);
+    closure_memo_.rehash(bucket_count);
+    block_tiers_.rehash(bucket_count);
+  }
+
  private:
   /// One threshold node of the flattened form. Children precede parents in
   /// `nodes_`, and a QSet's nodes are contiguous with the root last.

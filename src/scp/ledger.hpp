@@ -50,6 +50,7 @@ inline int ledger_timer_id(std::uint64_t slot) {
                               std::to_string(slot) +
                               " exceeds the timer id space");
   }
+  // scup-lint: bounded(slot <= INT_MAX - kLedgerTimerBase checked above; overflow throws)
   return kLedgerTimerBase + static_cast<int>(slot);
 }
 
@@ -114,6 +115,17 @@ class LedgerMultiplexer {
   std::uint64_t envelopes_dropped() const { return envelopes_dropped_; }
   /// The shared quorum-evaluation layer (stats aggregate across slots).
   const fbqs::QuorumEngine& engine() const { return engine_; }
+
+  /// Test hook: rehash every unordered table under this replica (the
+  /// shared engine plus each live slot's support index), scrambling
+  /// iteration orders mid-run. The determinism regression suite calls this
+  /// between events and requires bit-identical chains and sign logs.
+  void debug_rehash(std::size_t bucket_count) {
+    engine_.debug_rehash(bucket_count);
+    for (auto& [slot, entry] : slots_) {
+      if (entry.node) entry.node->debug_rehash(bucket_count);
+    }
+  }
 
  private:
   /// Per-slot host shim: namespaces messages and timers by slot.

@@ -183,6 +183,7 @@ void ScpNode::note_statement_update(ProcessId id) {
   if (support_.size() > kMaxTrackedPredicates) {
     support_.clear();  // rebuilt lazily; counted per-view as rebuilds
   }
+  // scup-lint: order-insensitive(each entry is updated independently from this sender's statements; no cross-entry reads or emissions)
   for (auto& [key, view] : support_) {
     const bool in = (nom != nullptr && pred_holds(key, *nom)) ||
                     (bal != nullptr && pred_holds(key, *bal));
@@ -214,6 +215,7 @@ void ScpNode::bind_qset(ProcessId id, const fbqs::QSet& q) {
 }
 
 bool ScpNode::support_views_consistent() const {
+  // scup-lint: order-insensitive(pure all-of check; result is a conjunction over entries)
   for (const auto& [key, view] : support_) {
     NodeSet fresh(peers_.universe_size());
     for (const auto& [id, env] : latest_nom_) {

@@ -124,6 +124,15 @@ class ScpNode {
   /// (the from-scratch equivalence the unit suite pins).
   bool support_views_consistent() const;
 
+  /// Test hook (see fbqs::QuorumEngine::debug_rehash): scrambles the
+  /// support index's bucket order. Behaviour must be unchanged — the loops
+  /// over support_ are annotated order-insensitive and the determinism
+  /// regression suite pins it. const because support_ is a mutable cache
+  /// and the ledger hands out const slot pointers.
+  void debug_rehash(std::size_t bucket_count) const {
+    support_.rehash(bucket_count);
+  }
+
  private:
   // -- federated voting over stored envelopes (self included) --
 

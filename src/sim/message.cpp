@@ -15,14 +15,17 @@ namespace {
 // Function-local statics avoid static-initialization-order issues for
 // messages interned during other globals' construction.
 std::mutex& registry_mutex() {
+  // scup-lint: thread-safe(a mutex is its own synchronization)
   static std::mutex mutex;
   return mutex;
 }
 std::deque<std::string>& names_by_id() {
+  // scup-lint: guarded-by(registry_mutex)
   static std::deque<std::string> names;
   return names;
 }
 std::map<std::string, std::uint32_t>& ids_by_name() {
+  // scup-lint: guarded-by(registry_mutex)
   static std::map<std::string, std::uint32_t> ids;
   return ids;
 }

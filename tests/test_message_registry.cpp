@@ -1,0 +1,70 @@
+// MessageTypeRegistry is the one piece of process-wide shared state the
+// parallel ScenarioMatrix runner touches from several threads at once.
+// These tests hammer intern/name_of/count concurrently; run them under the
+// tsan preset (cmake --preset tsan) to have ThreadSanitizer check the
+// locking, and note that name_of hands out references that must stay valid
+// across later interning (the registry stores names in a deque for that).
+#include "sim/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scup::sim {
+namespace {
+
+TEST(MessageRegistryTest, InternIsIdempotent) {
+  const auto a = MessageTypeRegistry::intern("registry.idem");
+  const auto b = MessageTypeRegistry::intern("registry.idem");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(MessageTypeRegistry::name_of(a), "registry.idem");
+}
+
+TEST(MessageRegistryTest, NameOfUnknownIdThrows) {
+  EXPECT_THROW(MessageTypeRegistry::name_of(0xfffffff0u), std::out_of_range);
+}
+
+TEST(MessageRegistryTest, ConcurrentInternAndNameOf) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 400;
+
+  // References taken before the hammer must survive every later intern.
+  const auto shared_id = MessageTypeRegistry::intern("registry.shared");
+  const std::string& shared_name = MessageTypeRegistry::name_of(shared_id);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failed, shared_id] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Every thread interns the same contended name...
+        if (MessageTypeRegistry::intern("registry.contended") !=
+            MessageTypeRegistry::intern("registry.contended")) {
+          failed = true;
+        }
+        // ...plus a name unique to (thread, round), forcing real growth.
+        const std::string unique =
+            "registry.t" + std::to_string(t) + "." + std::to_string(r);
+        const auto id = MessageTypeRegistry::intern(unique);
+        if (MessageTypeRegistry::name_of(id) != unique) failed = true;
+        if (MessageTypeRegistry::name_of(shared_id) != "registry.shared") {
+          failed = true;
+        }
+        if (MessageTypeRegistry::count() <= id) failed = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(failed.load());
+  // The early reference is still intact after kThreads*kRounds interns.
+  EXPECT_EQ(shared_name, "registry.shared");
+  EXPECT_EQ(MessageTypeRegistry::intern("registry.shared"), shared_id);
+}
+
+}  // namespace
+}  // namespace scup::sim

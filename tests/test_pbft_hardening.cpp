@@ -1,0 +1,173 @@
+// Regression tests for the PBFT Byzantine memory bomb: a faulty member
+// used to be able to allocate one map node per signed message by naming
+// arbitrary (view, value) pairs in prepares/commits/view-changes. The
+// admission bounds (view window, first-vote-per-view equivocation filter,
+// view-change GC) must keep correct members' bookkeeping small while the
+// protocol still decides a correct proposal underneath the spam.
+#include "bftcup/pbft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/adversaries.hpp"
+#include "sim/composed.hpp"
+#include "sim/simulation.hpp"
+
+namespace scup::bftcup {
+namespace {
+
+class PbftOnlyNode : public sim::ComposedNode {
+ public:
+  PbftOnlyNode(NodeSet members, std::size_t f, Value value)
+      : ComposedNode(f), members_(std::move(members)), value_(value) {}
+
+  void start() override {
+    pbft_ = std::make_unique<PbftConsensus>(*this, members_);
+    pbft_->start(value_);
+  }
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    pbft_->handle(from, *msg);
+  }
+  void on_timer(int timer_id) override {
+    if (timer_id == kPbftTimerId) pbft_->on_view_timer();
+  }
+
+  std::unique_ptr<PbftConsensus> pbft_;
+
+ private:
+  NodeSet members_;
+  Value value_;
+};
+
+constexpr int kSpamTimerId = 1;
+
+/// A faulty member that floods properly signed prepares, commits and
+/// view-change votes for attacker-chosen (view, value) pairs. Everything
+/// it sends passes signature verification — the only defence is the
+/// receiver's admission bookkeeping.
+class PbftSpamNode : public sim::ComposedNode {
+ public:
+  enum class Mode {
+    kHugeViews,   // views drawn from [2^20, 2^30): outside any window
+    kWindowSpam,  // views in [0, 64) with a fresh value per message
+  };
+
+  PbftSpamNode(NodeSet members, std::size_t f, Mode mode)
+      : ComposedNode(f), members_(std::move(members)), mode_(mode), rng_(7) {}
+
+  void start() override { host_set_timer(kSpamTimerId, 2); }
+  void on_message(ProcessId, const sim::MessagePtr&) override {}
+  void on_timer(int timer_id) override {
+    if (timer_id != kSpamTimerId) return;
+    for (int i = 0; i < 20; ++i) spam_one();
+    if (++ticks_ < 100) host_set_timer(kSpamTimerId, 2);
+  }
+
+  std::size_t junk_keys_sent() const { return junk_keys_; }
+
+ private:
+  void spam_one() {
+    const std::uint32_t view =
+        mode_ == Mode::kHugeViews
+            ? static_cast<std::uint32_t>((1u << 20) + rng_.uniform(1u << 30))
+            : static_cast<std::uint32_t>(rng_.uniform(64));
+    const Value value = 1'000 + junk_keys_;
+    ++junk_keys_;
+    const std::uint64_t pt = host_sign(prepare_hash(view, value));
+    const std::uint64_t ct = host_sign(commit_hash(view, value));
+    ViewChangeRecord r;
+    r.sender = self();
+    r.new_view = view;
+    r.token = host_sign(viewchange_hash(view, 0, kNoValue));
+    for (ProcessId m : members_) {
+      if (m == self()) continue;
+      host_send(m, sim::make_message<PrepareMsg>(view, value, pt));
+      host_send(m, sim::make_message<CommitMsg>(view, value, ct));
+      host_send(m, sim::make_message<ViewChangeMsg>(r));
+    }
+  }
+
+  NodeSet members_;
+  Mode mode_;
+  Rng rng_;
+  std::size_t ticks_ = 0;
+  std::size_t junk_keys_ = 0;
+};
+
+struct SpamHarness {
+  SpamHarness(std::size_t n, PbftSpamNode::Mode mode, std::uint64_t seed = 1) {
+    sim::NetworkConfig net;
+    net.min_delay = 1;
+    net.max_delay = 10;
+    net.seed = seed;
+    const std::size_t f = (n - 1) / 3;
+    sim = std::make_unique<sim::Simulation>(n, net);
+    nodes.assign(n, nullptr);
+    const NodeSet members = NodeSet::full(n);
+    // The last member is the spammer; everyone else is correct.
+    for (ProcessId i = 0; i + 1 < n; ++i) {
+      nodes[i] = &sim->emplace_process<PbftOnlyNode>(i, members, f, 100 + i);
+    }
+    spammer = &sim->emplace_process<PbftSpamNode>(
+        static_cast<ProcessId>(n - 1), members, f, mode);
+  }
+
+  bool run(SimTime deadline = 1'000'000) {
+    sim->start();
+    return sim->run_until(
+        [&] {
+          for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+            if (!nodes[i]->pbft_->decided()) return false;
+          }
+          return true;
+        },
+        deadline);
+  }
+
+  std::unique_ptr<sim::Simulation> sim;
+  std::vector<PbftOnlyNode*> nodes;
+  PbftSpamNode* spammer = nullptr;
+};
+
+void drain_and_check(SpamHarness& h) {
+  ASSERT_TRUE(h.run());
+  // Let the remaining spam ticks play out after the decision.
+  h.sim->run_until([] { return false; }, 2'000'000);
+  ASSERT_GT(h.spammer->junk_keys_sent(), 1'500u);
+  std::optional<Value> agreed;
+  for (std::size_t i = 0; i + 1 < h.nodes.size(); ++i) {
+    const auto& pbft = *h.nodes[i]->pbft_;
+    ASSERT_TRUE(pbft.decided());
+    if (!agreed) agreed = pbft.decision();
+    EXPECT_EQ(*agreed, pbft.decision());
+    // Pre-fix, every junk (view, value) key allocated at least one map
+    // node, so bookkeeping tracked junk_keys_sent() (thousands). The
+    // admission bounds keep it orders of magnitude below that.
+    EXPECT_LT(pbft.bookkeeping_size(), h.spammer->junk_keys_sent() / 2)
+        << "node " << i;
+    EXPECT_LT(pbft.bookkeeping_size(), 700u) << "node " << i;
+  }
+  // Spam values start at 1000; a correct proposal must win.
+  EXPECT_GE(*agreed, 100u);
+  EXPECT_LT(*agreed, 1'000u);
+}
+
+TEST(PbftHardeningTest, HugeViewSpamIsDroppedAtAdmission) {
+  SpamHarness h(4, PbftSpamNode::Mode::kHugeViews);
+  drain_and_check(h);
+}
+
+TEST(PbftHardeningTest, InWindowValueSpamIsCappedByFirstVote) {
+  // Views inside the admission window with a fresh value per message: the
+  // equivocation filter pins the spammer to one slot per view.
+  SpamHarness h(4, PbftSpamNode::Mode::kWindowSpam);
+  drain_and_check(h);
+}
+
+TEST(PbftHardeningTest, SevenNodesSurviveSpamWithSilentPeer) {
+  SpamHarness h(7, PbftSpamNode::Mode::kWindowSpam, /*seed=*/3);
+  drain_and_check(h);
+}
+
+}  // namespace
+}  // namespace scup::bftcup

@@ -1,0 +1,15 @@
+// Fixture: byz-narrowing-cast must fire on a narrowing cast of an id-like
+// value (the ledger_timer_id overflow class).
+#include <cstdint>
+
+int timer_id_for(std::uint64_t slot) {
+  return 10000 + static_cast<int>(slot);
+}
+
+int compact(std::uint64_t view, std::uint64_t node_id) {
+  return static_cast<int>(view) ^ static_cast<int>(node_id);
+}
+
+unsigned safe_count(std::uint64_t total) {
+  return static_cast<unsigned>(total);  // not id-like: no finding
+}

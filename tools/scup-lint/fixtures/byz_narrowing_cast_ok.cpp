@@ -1,0 +1,10 @@
+// Fixture: byz-narrowing-cast stays quiet when the cast is range-checked
+// and annotated.
+#include <cstdint>
+#include <stdexcept>
+
+int timer_id_for(std::uint64_t slot) {
+  if (slot > 1000000) throw std::overflow_error("slot too large");
+  // scup-lint: bounded(slot <= 1e6 checked above; fits int)
+  return 10000 + static_cast<int>(slot);
+}

@@ -1,0 +1,25 @@
+// Fixture: byz-unbounded-map must fire on operator[] insertion keyed by
+// message content inside a handle() path.
+#include <cstdint>
+#include <map>
+
+using ProcessId = std::uint32_t;
+
+struct Message {
+  std::uint64_t view = 0;
+  std::uint64_t token = 0;
+};
+
+struct Protocol {
+  std::map<std::uint64_t, std::uint64_t> votes_;
+  bool handle(ProcessId from, const Message& msg) {
+    votes_[msg.view] = msg.token + from;
+    return true;
+  }
+};
+
+// Subscripts outside handle() paths are not this rule's business.
+struct Recorder {
+  std::map<std::uint64_t, std::uint64_t> log_;
+  void note(std::uint64_t k) { log_[k] = k; }
+};

@@ -1,0 +1,19 @@
+// Fixture: byz-unbounded-map stays quiet when the insertion carries a
+// documented bound.
+#include <cstdint>
+#include <map>
+
+using ProcessId = std::uint32_t;
+
+struct Message {
+  std::uint64_t payload = 0;
+};
+
+struct Protocol {
+  std::map<ProcessId, std::uint64_t> latest_;
+  bool handle(ProcessId from, const Message& msg) {
+    // scup-lint: bounded(keyed by sender id, at most one entry per process)
+    latest_[from] = msg.payload;
+    return true;
+  }
+};

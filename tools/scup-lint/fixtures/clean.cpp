@@ -1,0 +1,23 @@
+// Fixture: idiomatic scup code that must produce zero findings — ordered
+// containers, seeded Rng, bounded handlers, no raw threads.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+using ProcessId = std::uint32_t;
+
+struct Tally {
+  std::map<ProcessId, std::uint64_t> latest_;
+  std::set<std::uint64_t> values_;
+  std::uint64_t fold() const {
+    std::uint64_t h = 0;
+    for (const auto& [id, v] : latest_) h = h * 31 + id + v;
+    for (std::uint64_t v : values_) h ^= v;
+    return h;
+  }
+};
+
+// Mentioning a banned name in a comment (std::thread, rand()) is fine; and
+// so is one in a string literal:
+inline const char* kDoc = "do not use std::rand or std::thread here";

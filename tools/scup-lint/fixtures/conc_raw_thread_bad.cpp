@@ -1,0 +1,11 @@
+// Fixture: conc-raw-thread must fire on raw std::thread spawn/detach and
+// std::async outside core/scenario_matrix.
+#include <future>
+#include <thread>
+
+void fire_and_forget() {
+  std::thread t([] {});
+  t.detach();
+  auto f = std::async([] { return 1; });
+  (void)f;
+}

@@ -1,0 +1,10 @@
+// Fixture: conc-unguarded-static must fire on mutable statics without a
+// guarded-by / thread-safe annotation; const and constexpr stay quiet.
+#include <cstdint>
+
+std::uint64_t next_id() {
+  static std::uint64_t counter = 0;
+  static const std::uint64_t base = 100;
+  static constexpr std::uint64_t step = 2;
+  return base + (counter += step);
+}

@@ -1,0 +1,17 @@
+// Fixture: conc-unguarded-static stays quiet when the static is annotated.
+#include <mutex>
+#include <vector>
+
+std::mutex& reg_mutex() {
+  // scup-lint: thread-safe(mutex; magic-static construction is synchronized)
+  static std::mutex mutex;
+  return mutex;
+}
+
+int count() {
+  // scup-lint: guarded-by(reg_mutex)
+  static std::vector<int> entries;
+  const std::lock_guard<std::mutex> lock(reg_mutex());
+  entries.push_back(1);
+  return static_cast<int>(entries.size());
+}

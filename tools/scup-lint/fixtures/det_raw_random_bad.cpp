@@ -1,0 +1,12 @@
+// Fixture: det-raw-random must fire on every raw randomness / wall-clock
+// source outside common/rng.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int roll() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return std::rand() + static_cast<int>(gen());
+}

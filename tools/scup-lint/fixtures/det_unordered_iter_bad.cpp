@@ -1,0 +1,14 @@
+// Fixture: det-unordered-iter must fire on a bare range-for over an
+// unordered container. (Never compiled; consumed by test_scup_lint.)
+#include <unordered_map>
+
+struct Fingerprinter {
+  std::unordered_map<int, int> support_;
+  unsigned long long digest() const {
+    unsigned long long h = 0;
+    for (const auto& [k, v] : support_) {
+      h = h * 31 + static_cast<unsigned long long>(k + v);
+    }
+    return h;
+  }
+};

@@ -1,0 +1,19 @@
+// Fixture: det-unordered-iter stays quiet when the loop carries an
+// order-insensitive annotation (same line and preceding line forms).
+#include <unordered_map>
+
+struct Accumulator {
+  std::unordered_map<int, int> support_;
+  int total() const {
+    int sum = 0;
+    // scup-lint: order-insensitive(integer addition commutes)
+    for (const auto& [k, v] : support_) {
+      sum += v;
+    }
+    int cnt = 0;
+    for (const auto& [k, v] : support_) {  // scup-lint: order-insensitive(count is order-free)
+      cnt += 1;
+    }
+    return sum + cnt;
+  }
+};

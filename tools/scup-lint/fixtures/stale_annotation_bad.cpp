@@ -1,0 +1,19 @@
+// Fixture: an annotation whose code no longer triggers any rule must be
+// reported as lint-stale-annotation, and an unknown annotation name as
+// lint-unknown-annotation.
+#include <map>
+
+struct Holder {
+  std::map<int, int> ordered_;
+  int sum() const {
+    int total = 0;
+    // scup-lint: order-insensitive(std::map is already ordered — stale)
+    for (const auto& [k, v] : ordered_) {
+      total += v;
+    }
+    return total;
+  }
+};
+
+// scup-lint: no-such-annotation(this name does not exist)
+int unrelated() { return 0; }

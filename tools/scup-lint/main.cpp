@@ -1,0 +1,161 @@
+// scup-lint CLI: walks src/, tests/ and bench/ under the given repo root,
+// applies the project rule families (see lint.hpp), and prints
+// `file:line: [rule-id] message` diagnostics.
+//
+// Exit codes (the contract CI and CTest rely on):
+//   0  clean — zero unsuppressed findings, zero stale suppressions
+//   1  findings reported
+//   2  usage or I/O error (bad root, unreadable suppression file)
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: scup-lint <repo-root> [--suppressions <file>]\n"
+    "       lints src/, tests/ and bench/ under <repo-root>\n";
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string root_arg;
+  std::string supp_arg;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--suppressions") {
+      if (i + 1 >= args.size()) {
+        std::cerr << kUsage;
+        return 2;
+      }
+      supp_arg = args[++i];
+    } else if (root_arg.empty()) {
+      root_arg = args[i];
+    } else {
+      std::cerr << kUsage;
+      return 2;
+    }
+  }
+  if (root_arg.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const fs::path root(root_arg);
+  if (!fs::is_directory(root)) {
+    std::cerr << "scup-lint: not a directory: " << root_arg << "\n";
+    return 2;
+  }
+
+  // Deterministic file order: collect, then sort by relative path.
+  std::vector<std::pair<std::string, fs::path>> files;  // rel -> abs
+  for (const char* top : {"src", "tests", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      files.emplace_back(
+          fs::relative(entry.path(), root).generic_string(), entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Pass 1: project-wide unordered-container identifiers (src/ only — the
+  // det-unordered-iter rule is scoped to src/ and collecting test-local
+  // names like `set` would poison the ident list).
+  scup::lint::LintOptions opts;
+  for (const auto& [rel, abs] : files) {
+    if (rel.rfind("src/", 0) != 0) continue;
+    std::string content;
+    if (!read_file(abs, content)) {
+      std::cerr << "scup-lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    for (std::string& ident : scup::lint::collect_unordered_idents(content)) {
+      if (std::find(opts.unordered_idents.begin(), opts.unordered_idents.end(),
+                    ident) == opts.unordered_idents.end()) {
+        opts.unordered_idents.push_back(std::move(ident));
+      }
+    }
+  }
+
+  // Pass 2: rules.
+  std::vector<scup::lint::Finding> findings;
+  for (const auto& [rel, abs] : files) {
+    std::string content;
+    if (!read_file(abs, content)) {
+      std::cerr << "scup-lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    for (scup::lint::Finding& f : scup::lint::lint_file(rel, content, opts)) {
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Suppressions: an explicitly named file must exist; the default location
+  // is used only when present.
+  fs::path supp_path;
+  if (!supp_arg.empty()) {
+    supp_path = supp_arg;
+    if (!fs::is_regular_file(supp_path)) {
+      std::cerr << "scup-lint: suppression file not found: " << supp_arg
+                << "\n";
+      return 2;
+    }
+  } else {
+    const fs::path candidate = root / "tools" / "scup-lint" /
+                               "suppressions.txt";
+    if (fs::is_regular_file(candidate)) supp_path = candidate;
+  }
+  if (!supp_path.empty()) {
+    std::string content;
+    if (!read_file(supp_path, content)) {
+      std::cerr << "scup-lint: cannot read " << supp_path << "\n";
+      return 2;
+    }
+    std::error_code ec;
+    const fs::path rel = fs::relative(supp_path, root, ec);
+    const std::string supp_rel =
+        ec || rel.empty() ? supp_path.generic_string() : rel.generic_string();
+    std::vector<scup::lint::Finding> supp_errors;
+    auto supps =
+        scup::lint::parse_suppressions(content, supp_rel, supp_errors);
+    findings = scup::lint::apply_suppressions(std::move(findings), supps,
+                                              supp_rel);
+    for (scup::lint::Finding& f : supp_errors) {
+      findings.push_back(std::move(f));
+    }
+  }
+
+  scup::lint::sort_findings(findings);
+  for (const scup::lint::Finding& f : findings) {
+    std::cout << scup::lint::format_finding(f) << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "scup-lint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  std::cout << "scup-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
