@@ -117,4 +117,4 @@ BENCHMARK(BM_Ablation_NonSinkSliceSize)->DenseRange(1, 4);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E10");

@@ -144,4 +144,4 @@ BENCHMARK(BM_Availability_ClosureCostLargeScale)->Arg(32)->Arg(64)->Arg(128);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E4");

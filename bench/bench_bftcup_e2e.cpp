@@ -83,4 +83,4 @@ BENCHMARK(BM_HeadToHead)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E7");

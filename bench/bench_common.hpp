@@ -1,12 +1,23 @@
 // Shared helpers for the experiment benches. Each bench binary regenerates
-// one experiment from DESIGN.md's index (E1..E9) and doubles as a
-// performance benchmark of the code paths involved. The ->Report rows (via
-// counters) are the "tables"; EXPERIMENTS.md records the reference output.
+// one experiment from DESIGN.md's index and doubles as a performance
+// benchmark of the code paths involved. The ->Report rows (via counters)
+// are the "tables"; EXPERIMENTS.md records the reference output.
+//
+// Every bench uses SCUP_BENCH_MAIN("E<k>") instead of BENCHMARK_MAIN():
+// alongside the normal console output it writes a canonical machine-
+// readable summary, BENCH_E<k>.json, with one entry per benchmark row
+// (name, iterations, real/cpu time, every user counter). CI uploads these
+// files as artifacts so perf history survives log rotation. The output
+// directory defaults to the working directory and can be redirected with
+// SCUP_BENCH_OUT_DIR.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "fbqs/quorum.hpp"
@@ -59,4 +70,133 @@ inline core::ScenarioConfig sim_scenario(graph::Digraph g, std::size_t f,
   return cfg;
 }
 
+/// Console reporter that additionally collects every finished row for the
+/// BENCH_E<k>.json summary (errors and aggregate rows are kept too, tagged
+/// by type, so the artifact is a faithful transcript of the run).
+class SummaryReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    bool error = false;
+    bool aggregate = false;
+    std::int64_t iterations = 0;
+    double real_time = 0;  // per iteration, in time_unit
+    double cpu_time = 0;
+    std::string time_unit;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      Row row;
+      row.name = run.benchmark_name();
+      row.error = run.error_occurred;
+      row.aggregate = run.run_type == Run::RT_Aggregate;
+      row.iterations = static_cast<std::int64_t>(run.iterations);
+      row.real_time = run.GetAdjustedRealTime();
+      row.cpu_time = run.GetAdjustedCPUTime();
+      row.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, counter.value);
+      }
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<Row> rows;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes BENCH_<id>.json into SCUP_BENCH_OUT_DIR (or the working
+/// directory). Returns false — with a note on stderr — if the file cannot
+/// be opened; the bench's exit status is unaffected, so a read-only CWD
+/// never fails a perf run.
+inline bool write_bench_summary(const std::string& id,
+                                const std::vector<SummaryReporter::Row>& rows,
+                                int argc, char** argv) {
+  std::string dir;
+  if (const char* env = std::getenv("SCUP_BENCH_OUT_DIR")) dir = env;
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  const std::string path = dir + "BENCH_" + id + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench summary: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string argline;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) argline += ' ';
+    argline += argv[i];
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"%s\",\n", json_escape(id).c_str());
+  std::fprintf(out, "  \"args\": \"%s\",\n", json_escape(argline).c_str());
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"error\": %s, \"aggregate\": %s, "
+                 "\"iterations\": %lld, \"real_time\": %.9g, "
+                 "\"cpu_time\": %.9g, \"time_unit\": \"%s\", \"counters\": {",
+                 json_escape(row.name).c_str(), row.error ? "true" : "false",
+                 row.aggregate ? "true" : "false",
+                 static_cast<long long>(row.iterations), row.real_time,
+                 row.cpu_time, json_escape(row.time_unit).c_str());
+    for (std::size_t c = 0; c < row.counters.size(); ++c) {
+      std::fprintf(out, "%s\"%s\": %.9g", c > 0 ? ", " : "",
+                   json_escape(row.counters[c].first).c_str(),
+                   row.counters[c].second);
+    }
+    std::fprintf(out, "}}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
 }  // namespace scup::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs the registered benchmarks
+/// through a SummaryReporter and writes the canonical BENCH_<id>.json
+/// artifact next to the console output.
+#define SCUP_BENCH_MAIN(experiment_id)                                     \
+  int main(int argc, char** argv) {                                        \
+    benchmark::Initialize(&argc, argv);                                    \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    scup::bench::SummaryReporter reporter;                                 \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                          \
+    benchmark::Shutdown();                                                 \
+    scup::bench::write_bench_summary(experiment_id, reporter.rows, argc,   \
+                                     argv);                                \
+    return 0;                                                              \
+  }                                                                        \
+  int main(int, char**)

@@ -80,4 +80,4 @@ BENCHMARK(BM_Fig1_SinkComputation);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E1");

@@ -96,4 +96,4 @@ BENCHMARK(BM_TwoCampFamily_LocalVsAlgorithm2)->DenseRange(3, 8);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E2");

@@ -106,4 +106,4 @@ BENCHMARK(BM_KosrGeneration)->Arg(16)->Arg(64)->Arg(256);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E8");

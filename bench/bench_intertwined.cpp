@@ -74,4 +74,4 @@ BENCHMARK(BM_Intertwined_AnalyticMarginSweep)->DenseRange(1, 8);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E3");

@@ -211,4 +211,4 @@ BENCHMARK(BM_LedgerThroughput_MatrixIdentity)
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E13");

@@ -102,4 +102,4 @@ BENCHMARK(BM_QSetSatisfiedBy)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E9");

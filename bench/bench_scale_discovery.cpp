@@ -196,4 +196,4 @@ BENCHMARK(BM_ScaleDiscovery_FullStack)
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E11");

@@ -174,4 +174,4 @@ BENCHMARK(BM_E12_SpeedupProof)->Arg(20)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E12");

@@ -87,4 +87,4 @@ BENCHMARK(BM_StellarSd_PreGstAsynchrony)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E6");

@@ -1,0 +1,184 @@
+// E14: the sharded simulator. Serial-vs-sharded throughput of the windowed
+// engine on a sustained gossip plane with per-delivery protocol work, at
+// n in {512, 4096, 10000}:
+//  - Plane/n:*/shards:0 is the legacy serial loop (the baseline);
+//  - shards:1 is the windowed engine run on the calling thread (its pure
+//    bookkeeping overhead: pedigree keys, staged outboxes, barrier merge);
+//  - shards:8 adds real parallelism across the shard pool.
+// Rows report events/sec (items_per_second) plus the zero-copy event-plane
+// counters: staged ops, arena grow vs. wholesale-reuse counts (allocation
+// behaviour of the per-shard bump arenas), and batch upcall amortization.
+// Identity rows re-prove the engine's contract under bench conditions:
+// every shard count must produce bit-identical metrics and Notary
+// fingerprints, across the plane workload and the full E12 scenario-matrix
+// shapes; a mismatch fails the bench run.
+#include "bench_common.hpp"
+
+#include "sim/simulation.hpp"
+
+namespace scup {
+namespace {
+
+struct PlaneMsg final : sim::Message {
+  explicit PlaneMsg(std::uint64_t p) : payload(p) {}
+  std::uint64_t payload;
+  std::string type_name() const override { return "bench.plane"; }
+  std::size_t byte_size() const override { return 40; }
+};
+
+/// Sustains a fixed in-flight message population (each delivery forwards
+/// exactly one message) and burns a slice of hash work per delivery — the
+/// stand-in for protocol computation that gives shards something to run in
+/// parallel.
+class PlaneNode : public sim::Process {
+ public:
+  PlaneNode(std::size_t n, bool seeds) : n_(n), seeds_(seeds) {}
+
+  void start() override {
+    if (seeds_) send((id() + 1) % n_, sim::make_message<PlaneMsg>(id()));
+  }
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    const auto& m = dynamic_cast<const PlaneMsg&>(*msg);
+    std::uint64_t h = m.payload;
+    for (int round = 0; round < 64; ++round) h = hash_mix(h, from, id());
+    digest_ ^= h;
+    send((id() + 1 + h % 7) % n_, sim::make_message<PlaneMsg>(h));
+  }
+
+  std::uint64_t digest_ = 0;
+
+ private:
+  std::size_t n_;
+  bool seeds_;
+};
+
+struct PlaneResult {
+  sim::SimMetrics metrics;
+  std::uint64_t digest = 0;  // xor over nodes: order-insensitive checksum
+  sim::ShardStats stats;
+};
+
+PlaneResult run_plane(std::size_t n, std::size_t shards, SimTime horizon,
+                      std::uint64_t seed) {
+  sim::NetworkConfig net;
+  net.min_delay = 2;
+  net.max_delay = 12;
+  net.seed = seed;
+  sim::Simulation sim(n, net);
+  std::vector<PlaneNode*> nodes;
+  nodes.reserve(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    nodes.push_back(&sim.emplace_process<PlaneNode>(i, n, i % 4 == 0));
+  }
+  sim.set_shards(shards);
+  sim.start();
+  sim.run_for(horizon);
+  PlaneResult out;
+  out.metrics = sim.metrics();
+  for (const auto* node : nodes) out.digest ^= node->digest_;
+  out.stats = sim.shard_stats();
+  return out;
+}
+
+void BM_Plane(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const SimTime horizon = 1'500;
+  std::size_t events = 0;
+  sim::ShardStats stats;
+  for (auto _ : state) {
+    const PlaneResult r = run_plane(n, shards, horizon, 99);
+    benchmark::DoNotOptimize(r.digest);
+    events += r.metrics.events_processed;
+    stats = r.stats;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_run"] =
+      static_cast<double>(events) / static_cast<double>(state.iterations());
+  state.counters["windows"] = static_cast<double>(stats.windows);
+  state.counters["staged_ops"] = static_cast<double>(stats.staged_ops);
+  state.counters["arena_grown"] = static_cast<double>(stats.arena_grown);
+  state.counters["arena_reused"] = static_cast<double>(stats.arena_reused);
+  state.counters["batch_upcalls"] = static_cast<double>(stats.batch_upcalls);
+  state.counters["batched_messages"] =
+      static_cast<double>(stats.batched_messages);
+}
+BENCHMARK(BM_Plane)
+    ->ArgNames({"n", "shards"})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({512, 8})
+    ->Args({4'096, 0})
+    ->Args({4'096, 1})
+    ->Args({4'096, 8})
+    ->Args({10'000, 0})
+    ->Args({10'000, 1})
+    ->Args({10'000, 8})
+    // Wall-clock rates: with pool threads doing the work, a CPU-time rate
+    // would only meter the coordinating thread and overstate throughput.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlaneIdentity(benchmark::State& state) {
+  // The determinism contract under bench conditions: metrics and node
+  // digests bit-identical for every shard count (legacy included —
+  // run_for drains the same event set in both modes).
+  const std::size_t n = 512;
+  const SimTime horizon = 600;
+  std::size_t checks = 0;
+  for (auto _ : state) {
+    const PlaneResult base = run_plane(n, 1, horizon, 7);
+    for (std::size_t shards : {0u, 2u, 3u, 8u}) {
+      const PlaneResult r = run_plane(n, shards, horizon, 7);
+      if (!(r.metrics == base.metrics) || r.digest != base.digest) {
+        state.SkipWithError("shard-count identity violated");
+        return;
+      }
+      ++checks;
+    }
+  }
+  state.counters["identity_checks"] = static_cast<double>(checks);
+}
+BENCHMARK(BM_PlaneIdentity)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixIdentity(benchmark::State& state) {
+  // Every E12 scenario-matrix shape (churn / +partition / +loss / +crash)
+  // x both protocols: the shards=2 report must equal the shards=1 windowed
+  // baseline bit for bit, Notary fingerprint included.
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    for (int shape = 0; shape < 4; ++shape) {
+      for (core::ProtocolKind protocol :
+           {core::ProtocolKind::kStellarSd, core::ProtocolKind::kBftCup}) {
+        core::ChurnPartitionParams p;
+        p.protocol = protocol;
+        p.seed = 3;
+        p.with_partition = shape >= 1;
+        if (shape == 2) p.pre_gst_drop = 0.2;
+        p.with_crash = shape == 3;
+        core::ScenarioConfig cfg = core::churn_partition_scenario(p);
+        cfg.shards = 1;
+        const core::ScenarioReport base = core::run_scenario(cfg);
+        cfg.shards = 2;
+        const core::ScenarioReport sharded = core::run_scenario(cfg);
+        if (!base.all_decided ||
+            sharded.notary_fingerprint != base.notary_fingerprint ||
+            !(sharded.metrics == base.metrics) ||
+            sharded.decision_times != base.decision_times ||
+            sharded.end_time != base.end_time) {
+          state.SkipWithError("matrix shard identity violated");
+          return;
+        }
+        ++cells;
+      }
+    }
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+}
+BENCHMARK(BM_MatrixIdentity)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scup
+
+SCUP_BENCH_MAIN("E14");

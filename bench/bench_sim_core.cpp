@@ -194,4 +194,4 @@ BENCHMARK(BM_EventQueue_PriorityQueue);
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E0");

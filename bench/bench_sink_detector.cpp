@@ -131,4 +131,4 @@ BENCHMARK(BM_SinkDetector_FaultFreeBaseline)
 }  // namespace
 }  // namespace scup
 
-BENCHMARK_MAIN();
+SCUP_BENCH_MAIN("E5");

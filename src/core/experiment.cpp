@@ -118,6 +118,7 @@ ScenarioReport run_scenario(const ScenarioConfig& config) {
     return true;
   };
 
+  sim.set_shards(config.shards);
   sim.start();
   sim.run_until(all_decided, config.deadline);
 
@@ -188,6 +189,7 @@ ScenarioReport run_scenario(const ScenarioConfig& config) {
   }
 
   report.metrics = sim.metrics();
+  report.notary_fingerprint = sim.notary().fingerprint();
   report.end_time = sim.now();
   return report;
 }

@@ -10,7 +10,15 @@ void LedgerMultiplexer::SlotHost::host_send(ProcessId to,
   if (env == nullptr) {
     throw std::logic_error("SlotHost: only SCP envelopes expected");
   }
-  mux_.host_.host_send(to, sim::make_message<SlotEnvelope>(slot_, *env));
+  if (msg == last_inner_) {
+    mux_.host_.host_counter_add(sim::ProtoCounter::kSlotWrapsShared, 1);
+    mux_.host_.host_send(to, last_wrapped_);
+    return;
+  }
+  last_wrapped_ = sim::make_message<SlotEnvelope>(slot_, *env);
+  last_inner_ = std::move(msg);
+  mux_.host_.host_counter_add(sim::ProtoCounter::kSlotWraps, 1);
+  mux_.host_.host_send(to, last_wrapped_);
 }
 
 void LedgerMultiplexer::SlotHost::host_set_timer(int timer_id,

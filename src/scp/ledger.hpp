@@ -129,6 +129,13 @@ class LedgerMultiplexer {
 
  private:
   /// Per-slot host shim: namespaces messages and timers by slot.
+  ///
+  /// Broadcasts are zero-copy: ScpNode sends one shared Envelope to every
+  /// peer, and the shim wraps it in a SlotEnvelope once, handing the same
+  /// immutable wrapper to every destination (cache keyed on the inner
+  /// message's identity, held by MessagePtr so the address cannot be
+  /// recycled under the cache). kSlotWraps / kSlotWrapsShared count
+  /// constructions vs cache hits.
   class SlotHost final : public sim::ProtocolHost {
    public:
     SlotHost(LedgerMultiplexer& mux, std::uint64_t slot)
@@ -152,6 +159,8 @@ class LedgerMultiplexer {
    private:
     LedgerMultiplexer& mux_;
     std::uint64_t slot_;
+    sim::MessagePtr last_inner_;    // pins the cached payload's identity
+    sim::MessagePtr last_wrapped_;  // its SlotEnvelope, shared by all sends
   };
 
   struct Slot {

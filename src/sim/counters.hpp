@@ -28,6 +28,12 @@ enum class ProtoCounter : std::uint8_t {
   /// Support views built from scratch (first query of a predicate, or
   /// rebuild after a cap eviction).
   kSupportRebuilds,
+  /// SlotEnvelope wrappers constructed by the ledger's per-slot host shim
+  /// (one per distinct broadcast payload after the shared-wrap cache).
+  kSlotWraps,
+  /// host_send calls served by the shim's cached wrapper instead of a
+  /// fresh deep copy (the zero-copy broadcast path).
+  kSlotWrapsShared,
   kCount,
 };
 

@@ -85,6 +85,20 @@ class CalendarQueue {
     return time_of(peeked_slot_);
   }
 
+  /// The earliest event, without consuming it (same contract as
+  /// next_time(): the cursor does not move). The pointer is valid only
+  /// until the next queue operation. Requires !empty().
+  const Event* peek() {
+    if (ring_count_ == 0) {
+      // The ring drains only through pop(), which re-migrates after every
+      // cursor advance — so with an empty ring, every overflow event lies
+      // beyond the horizon and the overflow top is the global minimum.
+      return &overflow_.top();
+    }
+    if (peeked_slot_ == kNoPeek) next_time();
+    return &ring_[peeked_slot_][heads_[peeked_slot_]];
+  }
+
   /// Pops the earliest event. Requires !empty().
   Event pop() {
     std::size_t slot;

@@ -6,6 +6,7 @@
 // the sender's log and all recipients.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -29,6 +30,18 @@ class MessageTypeRegistry {
 
 class Message {
  public:
+  Message() = default;
+  // std::atomic is not copyable; copy the cached value so copied messages
+  // keep the interned id (ids are process-wide, so the value transfers).
+  Message(const Message& other)
+      : metrics_type_id_(
+            other.metrics_type_id_.load(std::memory_order_relaxed)) {}
+  Message& operator=(const Message& other) {
+    metrics_type_id_.store(
+        other.metrics_type_id_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
   virtual ~Message() = default;
 
   /// Stable name used for metrics aggregation (e.g. "scp.prepare").
@@ -42,19 +55,21 @@ class Message {
   /// a broadcast fanning one message out to n destinations interns once
   /// and reads the cached id n-1 times.
   std::uint32_t metrics_type_id() const {
-    if (metrics_type_id_ == kUninternedTypeId) {
-      metrics_type_id_ = MessageTypeRegistry::intern(type_name());
+    std::uint32_t id = metrics_type_id_.load(std::memory_order_relaxed);
+    if (id == kUninternedTypeId) {
+      id = MessageTypeRegistry::intern(type_name());
+      metrics_type_id_.store(id, std::memory_order_relaxed);
     }
-    return metrics_type_id_;
+    return id;
   }
 
  private:
   static constexpr std::uint32_t kUninternedTypeId = 0xffffffffu;
-  // The cache is per-object state invisible to message semantics. Each
-  // Simulation runs on one thread and messages never cross simulations
-  // (parallel ScenarioMatrix cells are share-nothing), so plain mutation
-  // is safe on messages shared within one simulation.
-  mutable std::uint32_t metrics_type_id_ = kUninternedTypeId;
+  // The cache is per-object state invisible to message semantics. A
+  // broadcast message is shared across shard threads in the sharded
+  // engine, so the lazy fill is a relaxed atomic: racing fills intern the
+  // same name and store the same id (the registry is idempotent).
+  mutable std::atomic<std::uint32_t> metrics_type_id_{kUninternedTypeId};
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

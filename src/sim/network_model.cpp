@@ -27,6 +27,10 @@ UniformModel::UniformModel(const NetworkConfig& config) : config_(config) {
                                   "starts");
     }
   }
+  min_latency_ = config_.min_delay;
+  for (const LinkOverride& o : config_.link_overrides) {
+    min_latency_ = std::min(min_latency_, o.min_delay);
+  }
 }
 
 std::pair<SimTime, SimTime> UniformModel::bounds(ProcessId from, ProcessId to,

@@ -107,6 +107,14 @@ class NetworkModel {
   /// Called once per send, at simulated time `now`.
   virtual Verdict on_send(ProcessId from, ProcessId to, SimTime now,
                           Rng& rng) = 0;
+
+  /// Conservative lower bound on link latency: on_send must never schedule
+  /// a delivery (either copy) earlier than `now + min_latency()`, on any
+  /// link, at any time. The sharded engine's conservative window width is
+  /// exactly this bound, so a model must not over-promise. The default (0)
+  /// is always safe but disables sharded execution
+  /// (Simulation::set_shards requires >= 1).
+  virtual SimTime min_latency() const { return 0; }
 };
 
 /// The default model: uniform delays with the NetworkConfig feature set
@@ -122,6 +130,10 @@ class UniformModel : public NetworkModel {
   Verdict on_send(ProcessId from, ProcessId to, SimTime now,
                   Rng& rng) override;
 
+  /// min over the global min_delay and every link override's min_delay
+  /// (partitions only defer deliveries, so they never lower the bound).
+  SimTime min_latency() const override { return min_latency_; }
+
  private:
   /// Delay bounds for one directed link at time `now`.
   std::pair<SimTime, SimTime> bounds(ProcessId from, ProcessId to,
@@ -133,6 +145,7 @@ class UniformModel : public NetworkModel {
   NetworkConfig config_;
   std::map<std::pair<ProcessId, ProcessId>, std::pair<SimTime, SimTime>>
       overrides_;
+  SimTime min_latency_ = 0;
 };
 
 }  // namespace scup::sim

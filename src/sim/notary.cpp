@@ -24,6 +24,14 @@ Notary::Token Notary::sign(ProcessId signer, std::uint64_t statement) const {
   return token;
 }
 
+std::uint64_t Notary::fingerprint() const {
+  std::uint64_t h = 0x10742a15ULL;
+  for (const auto& [signer, statement] : log_) {
+    h = hash_mix(h, signer, statement);
+  }
+  return h;
+}
+
 bool Notary::verify(ProcessId signer, std::uint64_t statement,
                     Token token) const {
   if (signer >= secrets_.size()) return false;

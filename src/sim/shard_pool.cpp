@@ -1,0 +1,59 @@
+#include "sim/shard_pool.hpp"
+
+namespace scup::sim {
+
+ShardPool::ShardPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  go_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::run(const std::function<void(std::size_t)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    running_ = threads_.size();
+    ++epoch_;
+  }
+  go_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void ShardPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      go_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (running_ == 0) done_.notify_one();
+    }
+  }
+}
+
+}  // namespace scup::sim

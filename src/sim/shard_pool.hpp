@@ -1,0 +1,55 @@
+// ShardPool — the sharded engine's persistent worker pool.
+//
+// One pool per sharded Simulation: `workers` long-lived threads handle
+// shard indices 1..workers while the calling thread (the simulation's
+// owner) drains shard 0 inline, so a run with S shards uses exactly S
+// cores and S == 1 spawns no threads at all. run() is a fork-join epoch:
+// workers sleep on a condition variable between windows, and the
+// mutex/condvar pair establishes the happens-before edges the engine's
+// barrier discipline relies on (shard state is touched only by its owning
+// thread inside run(), and only by the caller outside it).
+//
+// This file is the only sanctioned home for raw std::thread inside
+// src/sim/ — scup-lint's det-shard-escape rule flags thread primitives
+// anywhere else in the simulator.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scup::sim {
+
+class ShardPool {
+ public:
+  /// Spawns `workers` threads (0 is valid and spawns none).
+  explicit ShardPool(std::size_t workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Runs fn(0) on the calling thread and fn(i) for i in 1..workers on the
+  /// pool, returning when every invocation has finished. Exceptions must
+  /// be captured by fn itself (a throw out of fn terminates).
+  void run(const std::function<void(std::size_t)>& fn);
+
+  std::size_t workers() const { return threads_.size(); }
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::mutex mutex_;
+  std::condition_variable go_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace scup::sim

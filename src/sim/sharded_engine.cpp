@@ -1,0 +1,271 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace scup::sim {
+
+namespace {
+/// Set for the duration of ShardEngine::drain on each participating thread;
+/// how Simulation knows a call is happening inside a window.
+thread_local ShardContext* tls_shard = nullptr;
+}  // namespace
+
+ShardEngine::ShardEngine(Simulation& sim, std::size_t shards)
+    : sim_(sim), pool_(shards - 1), width_(sim.model_->min_latency()) {
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto ctx = std::make_unique<ShardContext>();
+    ctx->index = i;
+    shards_.push_back(std::move(ctx));
+  }
+}
+
+ShardContext* ShardEngine::current() { return tls_shard; }
+
+void ShardEngine::seed_from(CalendarQueue& queue) {
+  // Popping yields (time, seq) order, which is exactly the push order each
+  // shard queue requires.
+  while (!queue.empty()) {
+    Event e = queue.pop();
+    shards_[e.target % shards_.size()]->queue.push(std::move(e));
+  }
+}
+
+void ShardEngine::push_external(Event e) {
+  // Only legal between windows (the caller is the coordinating thread) and
+  // at e.time >= now_ >= every shard queue's cursor.
+  shards_[e.target % shards_.size()]->queue.push(std::move(e));
+}
+
+bool ShardEngine::run_window(SimTime deadline) {
+  SimTime t_min = std::numeric_limits<SimTime>::max();
+  bool any = false;
+  for (const auto& shard : shards_) {
+    if (shard->queue.empty()) continue;
+    t_min = std::min(t_min, shard->queue.next_time());
+    any = true;
+  }
+  if (!any || t_min > deadline) return false;
+  // [t_min, t_min + W), clamped so nothing past the deadline runs. The
+  // schedule depends only on the global event horizon — never on the shard
+  // partition — so every shard count sees the same barrier points.
+  window_end_ = (deadline - t_min >= width_) ? t_min + width_ : deadline + 1;
+  for (auto& shard : shards_) shard->processed_any = false;
+  pool_.run([this](std::size_t i) { drain(i); });
+  ++windows_;
+  commit_staged();
+  return true;
+}
+
+void ShardEngine::drain(std::size_t shard_index) {
+  ShardContext& ctx = *shards_[shard_index];
+  tls_shard = &ctx;
+  try {
+    while (!ctx.queue.empty()) {
+      const Event* head = ctx.queue.peek();
+      if (head->time >= window_end_) break;
+      if (head->kind == EventKind::kDeliver && sim_.deliverable(head->target)) {
+        // Pop the maximal run of consecutive deliveries to this target at
+        // this tick and hand them over as one upcall. A crash/activate (or
+        // a delivery for another process) interleaved in seq order breaks
+        // the run, so batching never reorders against serial execution.
+        const SimTime tick = head->time;
+        const ProcessId target = head->target;
+        ctx.batch.clear();
+        for (;;) {
+          Event e = ctx.queue.pop();
+          ctx.now = e.time;
+          ctx.last_time = e.time;
+          ctx.processed_any = true;
+          ctx.metrics.events_processed += 1;
+          Delivery d;
+          d.from = e.from;
+          d.msg = std::move(e.msg);
+          d.cookie = e.seq;
+          ctx.batch.push_back(std::move(d));
+          if (ctx.queue.empty()) break;
+          const Event* next = ctx.queue.peek();
+          if (next->time != tick || next->kind != EventKind::kDeliver ||
+              next->target != target) {
+            break;
+          }
+        }
+        ctx.stats.batch_upcalls += 1;
+        ctx.stats.batched_messages += ctx.batch.size();
+        sim_.processes_[target]->on_messages(ctx.batch.data(),
+                                             ctx.batch.size());
+      } else {
+        Event e = ctx.queue.pop();
+        ctx.now = e.time;
+        ctx.last_time = e.time;
+        ctx.processed_any = true;
+        ctx.metrics.events_processed += 1;
+        set_dispatch_key(ctx, e);
+        sim_.dispatch(e, ctx.metrics);
+      }
+    }
+  } catch (...) {
+    ctx.error = std::current_exception();
+  }
+  tls_shard = nullptr;
+}
+
+void ShardEngine::set_dispatch_key(ShardContext& ctx, const Event& e) {
+  ctx.current_key.clear();
+  ctx.current_key.push_back(static_cast<std::uint64_t>(e.time));
+  if (e.seq >= kTempSeqBase) {
+    // Provisional: D = [time, 1] ++ Q(scheduling key). Copy out of the
+    // arena now — later staging may reallocate it.
+    ctx.current_key.push_back(1);
+    const auto it = ctx.provisional_keys.find(e.seq);
+    const auto [off, len] = it->second;
+    ctx.current_key.insert(ctx.current_key.end(),
+                           ctx.key_arena.begin() + off,
+                           ctx.key_arena.begin() + off + len);
+    ctx.provisional_keys.erase(it);
+    ctx.stats.provisional_events += 1;
+  } else {
+    ctx.current_key.push_back(0);
+    ctx.current_key.push_back(e.seq);
+  }
+  ctx.intra = 0;
+}
+
+bool ShardEngine::key_less(const ShardContext& a, std::uint32_t a_off,
+                           std::uint32_t a_len, const ShardContext& b,
+                           std::uint32_t b_off, std::uint32_t b_len) const {
+  const std::uint64_t* ka = a.key_arena.data() + a_off;
+  const std::uint64_t* kb = b.key_arena.data() + b_off;
+  return std::lexicographical_compare(ka, ka + a_len, kb, kb + b_len);
+}
+
+// shard-barrier begin(commit of one window: staged effects merge into the
+// global engine state in pedigree-key order; every shard thread is parked)
+void ShardEngine::commit_staged() {
+  for (const auto& shard : shards_) {
+    if (shard->error) {
+      const std::exception_ptr err = shard->error;
+      for (auto& s : shards_) s->error = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  const std::size_t S = shards_.size();
+  std::vector<std::size_t> pos(S, 0);
+
+  // ---- outboxes: k-way merge by pedigree key. Each shard's outbox is
+  // already key-sorted (staging order within a shard is dispatch order),
+  // so picking the minimum head reproduces the serial effect order — and
+  // with it the serial network-RNG draw sequence and seq numbering.
+  for (;;) {
+    std::size_t best = S;
+    for (std::size_t s = 0; s < S; ++s) {
+      if (pos[s] >= shards_[s]->outbox.size()) continue;
+      if (best == S) {
+        best = s;
+        continue;
+      }
+      const StagedOp& a = shards_[s]->outbox[pos[s]];
+      const StagedOp& b = shards_[best]->outbox[pos[best]];
+      if (key_less(*shards_[s], a.key_off, a.key_len, *shards_[best],
+                   b.key_off, b.key_len)) {
+        best = s;
+      }
+    }
+    if (best == S) break;
+    StagedOp& op = shards_[best]->outbox[pos[best]++];
+    Event& e = op.event;
+    if (!op.is_send) {
+      e.seq = sim_.next_seq_++;
+      shards_[e.target % S]->queue.push(std::move(e));
+      continue;
+    }
+    const ProcessId to = e.target;
+    const ProcessId from = e.from;
+    const NetworkModel::Verdict verdict =
+        sim_.model_->on_send(from, to, op.send_time, sim_.net_rng_);
+    if (verdict.dropped) {
+      sim_.metrics_.messages_dropped += 1;
+      continue;
+    }
+    if (verdict.deliver_at < window_end_ ||
+        (verdict.duplicated && verdict.duplicate_at < window_end_)) {
+      throw std::logic_error(
+          "NetworkModel delivered inside the conservative window; "
+          "min_latency() must lower-bound every verdict");
+    }
+    MessagePtr dup_msg = verdict.duplicated ? e.msg : nullptr;
+    e.time = verdict.deliver_at;
+    e.seq = sim_.next_seq_++;
+    shards_[to % S]->queue.push(std::move(e));
+    if (verdict.duplicated) {
+      sim_.metrics_.messages_duplicated += 1;
+      Event dup;
+      dup.time = verdict.duplicate_at;
+      dup.seq = sim_.next_seq_++;
+      dup.kind = EventKind::kDeliver;
+      dup.target = to;
+      dup.from = from;
+      dup.msg = std::move(dup_msg);
+      shards_[to % S]->queue.push(std::move(dup));
+    }
+  }
+
+  // ---- signs: same merge, replayed into the Notary log so the combined
+  // compute()+append() stream equals a serial sign() stream.
+  std::fill(pos.begin(), pos.end(), 0);
+  for (;;) {
+    std::size_t best = S;
+    for (std::size_t s = 0; s < S; ++s) {
+      if (pos[s] >= shards_[s]->signs.size()) continue;
+      if (best == S) {
+        best = s;
+        continue;
+      }
+      const StagedSign& a = shards_[s]->signs[pos[s]];
+      const StagedSign& b = shards_[best]->signs[pos[best]];
+      if (key_less(*shards_[s], a.key_off, a.key_len, *shards_[best],
+                   b.key_off, b.key_len)) {
+        best = s;
+      }
+    }
+    if (best == S) break;
+    const StagedSign& sg = shards_[best]->signs[pos[best]++];
+    sim_.notary_.append(sg.signer, sg.statement);
+  }
+
+  // ---- metrics, time, arenas.
+  for (auto& shard : shards_) {
+    sim_.absorb_metrics(shard->metrics);
+    if (shard->processed_any) {
+      sim_.now_ = std::max(sim_.now_, shard->last_time);
+    }
+    // Wholesale free: clear() keeps capacity, so after warm-up the arenas
+    // stop allocating (tracked by arena_reused / arena_grown).
+    shard->outbox.clear();
+    shard->signs.clear();
+    shard->key_arena.clear();
+    shard->provisional_keys.clear();  // drained at dispatch; belt-and-braces
+  }
+}
+// shard-barrier end
+
+ShardStats ShardEngine::stats() const {
+  ShardStats total;
+  total.shards = shards_.size();
+  total.windows = windows_;
+  for (const auto& shard : shards_) {
+    total.staged_ops += shard->stats.staged_ops;
+    total.arena_reused += shard->stats.arena_reused;
+    total.arena_grown += shard->stats.arena_grown;
+    total.batch_upcalls += shard->stats.batch_upcalls;
+    total.batched_messages += shard->stats.batched_messages;
+    total.provisional_events += shard->stats.provisional_events;
+  }
+  return total;
+}
+
+}  // namespace scup::sim

@@ -1,0 +1,238 @@
+// ShardEngine — deterministic time-window parallelism inside one run.
+//
+// The simulator's event plane is sharded by process id: shard s owns every
+// process p with p % shards == s, that process's calendar queue entries,
+// mailbox, timers and RNG. Shards drain their own queues concurrently
+// inside a conservative window [T, T + W) where T is the global minimum
+// next-event time and W = NetworkModel::min_latency(). Because no message
+// can be delivered earlier than min_latency ticks after it is sent, nothing
+// a shard does inside the window can schedule work for another shard inside
+// the same window — cross-shard effects (sends) always land at or beyond
+// the window end, so they are staged in per-shard outboxes and exchanged at
+// a global barrier. DESIGN.md §4.6 gives the full order-preservation
+// argument.
+//
+// Determinism contract: a sharded run is bit-identical (Notary sign log,
+// SimMetrics, ledger contents) to the shards == 1 run of the same scenario,
+// for every shard count. Three mechanisms make that true:
+//
+//  1. Pedigree keys. Every staged effect (send, cross-window timer, sign)
+//     carries a key encoding the chain of events that produced it:
+//       D(final event)        = [time, 0, seq]
+//       D(provisional event)  = [time, 1] ++ Q(its scheduling key)
+//       Q(k-th effect of a dispatch) = D(dispatching event) ++ [k]
+//     Keys are compared lexicographically; the encoding is prefix-free
+//     (every frame position carries a 0/1 discriminator), so lexicographic
+//     order on the raw words is exactly the order a serial run would have
+//     produced the effects in. Keys live in a per-shard flat arena
+//     (key_arena) that is bump-allocated during the window and freed
+//     wholesale at the barrier.
+//
+//  2. Deferred network verdicts. NetworkModel::on_send consumes the single
+//     global network RNG, so shards never call it. Sends are staged with
+//     their send time; the barrier replays them against the model in merged
+//     key order, reproducing the serial draw sequence (and the serial
+//     drop/duplicate bookkeeping) exactly. Final sequence numbers are dense
+//     and assigned in the same merged order.
+//
+//  3. Provisional events. The only effect that can land inside the current
+//     window is a process's own timer with delay < W. Those are pushed
+//     straight into the owning shard's queue with a temporary sequence
+//     number >= kTempSeqBase — past every final seq at the same tick, which
+//     is exactly where a serial run's (larger, window-assigned) seq would
+//     have sorted them — and their pedigree key is remembered so effects
+//     they produce stay globally ordered.
+//
+// The window loop also batches deliveries: consecutive queue entries with
+// the same (tick, target) become one Process::on_messages upcall, with
+// per-delivery pedigree handled through Process::begin_delivery cookies.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/process.hpp"
+#include "sim/shard_pool.hpp"
+
+namespace scup::sim {
+
+class Simulation;
+
+/// Sharded-engine instrumentation, kept outside SimMetrics on purpose: the
+/// shard-invariance suites compare SimMetrics bit-for-bit across shard
+/// counts, and these counters legitimately differ (a serial run has no
+/// barriers to count).
+struct ShardStats {
+  std::size_t shards = 0;
+  /// Conservative windows executed (== global barriers).
+  std::size_t windows = 0;
+  /// Effects staged in outboxes (sends + cross-window timers).
+  std::size_t staged_ops = 0;
+  /// Staged ops that reused arena capacity vs. ones that grew it. After
+  /// warm-up reused should dominate: the outbox arenas are freed
+  /// wholesale at each barrier but keep their capacity.
+  std::size_t arena_reused = 0;
+  std::size_t arena_grown = 0;
+  /// Batched-delivery upcalls and the messages they carried.
+  std::size_t batch_upcalls = 0;
+  std::size_t batched_messages = 0;
+  /// Same-window self timers executed with temporary sequence numbers.
+  std::size_t provisional_events = 0;
+};
+
+/// Provisional (same-window) events carry temporary sequence numbers from
+/// this base. 2^63 is past every final seq, so they sort after all final
+/// events at the same tick — matching the serial run, where a timer armed
+/// inside the window receives a larger seq than anything scheduled before
+/// the window started.
+inline constexpr std::uint64_t kTempSeqBase = std::uint64_t{1} << 63;
+
+/// One staged effect: a send awaiting its network verdict, or a timer
+/// landing at or beyond the window end. `key_off/key_len` index the owning
+/// shard's key_arena.
+struct StagedOp {
+  std::uint32_t key_off = 0;
+  std::uint32_t key_len = 0;
+  bool is_send = false;
+  SimTime send_time = 0;  // the `now` on_send would have seen (sends only)
+  Event event;            // sends: time/seq filled at the barrier
+};
+
+/// One staged Notary log entry (the token was computed in-window;
+/// the log append replays at the barrier in merged key order).
+struct StagedSign {
+  std::uint32_t key_off = 0;
+  std::uint32_t key_len = 0;
+  ProcessId signer = kInvalidProcess;
+  std::uint64_t statement = 0;
+};
+
+/// Everything one shard owns. Touched only by the shard's thread inside
+/// ShardPool::run and only by the coordinating thread outside it (the
+/// pool's fork/join provides the happens-before edges).
+struct ShardContext {
+  std::size_t index = 0;
+  CalendarQueue queue;
+  /// Simulated time of the event being dispatched (Process::now()).
+  SimTime now = 0;
+  /// Time of the last event this shard processed in the current window.
+  SimTime last_time = 0;
+  bool processed_any = false;
+  /// Window-local metrics delta, merged into Simulation::metrics_ at the
+  /// barrier and zeroed in place.
+  SimMetrics metrics;
+
+  // ---- staging arenas: bump-allocated per window, freed wholesale ----
+  std::vector<StagedOp> outbox;
+  std::vector<StagedSign> signs;
+  std::vector<std::uint64_t> key_arena;
+
+  /// Pedigree of the event currently being dispatched (D in the header
+  /// comment) and the per-dispatch effect counter (the k in Q).
+  std::vector<std::uint64_t> current_key;
+  std::uint64_t intra = 0;
+
+  /// Temporary seq allocation + key bookkeeping for provisional events.
+  std::uint64_t next_temp_seq = 0;
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+      provisional_keys;
+
+  /// Reused buffer for batched same-tick deliveries.
+  std::vector<Delivery> batch;
+
+  ShardStats stats;
+  std::exception_ptr error;
+
+  /// Appends Q = current_key ++ [intra++] to the key arena; returns its
+  /// (offset, length).
+  std::pair<std::uint32_t, std::uint32_t> make_qkey() {
+    const std::uint32_t off = static_cast<std::uint32_t>(key_arena.size());
+    key_arena.insert(key_arena.end(), current_key.begin(), current_key.end());
+    key_arena.push_back(intra++);
+    return {off, static_cast<std::uint32_t>(key_arena.size() - off)};
+  }
+
+  /// Stages one outbox effect, counting arena reuse vs. growth.
+  void stage(Event e, bool is_send, SimTime send_time) {
+    if (outbox.size() < outbox.capacity()) {
+      ++stats.arena_reused;
+    } else {
+      ++stats.arena_grown;
+    }
+    const auto [off, len] = make_qkey();
+    StagedOp op;
+    op.key_off = off;
+    op.key_len = len;
+    op.is_send = is_send;
+    op.send_time = send_time;
+    op.event = std::move(e);
+    outbox.push_back(std::move(op));
+    ++stats.staged_ops;
+  }
+};
+
+class ShardEngine {
+ public:
+  /// `shards` >= 1. Spawns shards - 1 pool workers (shard 0 runs on the
+  /// coordinating thread), so shards == 1 is the windowed engine with no
+  /// threads at all — the determinism baseline.
+  ShardEngine(Simulation& sim, std::size_t shards);
+
+  /// The shard context of the calling thread while it is draining a window,
+  /// nullptr otherwise (in particular: nullptr on the coordinating thread
+  /// between windows, and always nullptr in the legacy serial loop).
+  static ShardContext* current();
+
+  /// Moves every queued event into the owning shard's queue, in (time, seq)
+  /// order. Called once by Simulation::start after the pre-start serial
+  /// phase has populated the global queue.
+  void seed_from(CalendarQueue& queue);
+
+  /// Runs one conservative window: picks T = min next-event time across
+  /// shards, drains [T, min(T + W, deadline + 1)) in parallel, then commits
+  /// staged effects at the barrier. Returns false (without running
+  /// anything) when no shard has an event at time <= deadline.
+  bool run_window(SimTime deadline);
+
+  /// Routes an externally pushed event (crash_at between runs) to its
+  /// owning shard. The caller has already assigned the final seq.
+  void push_external(Event e);
+
+  std::size_t shards() const { return shards_.size(); }
+
+  /// Exclusive end of the window currently being drained. Valid only inside
+  /// run_window (used by Simulation::enqueue_timer to classify a firing as
+  /// provisional vs. staged).
+  SimTime window_end() const { return window_end_; }
+
+  /// Aggregated instrumentation across shards.
+  ShardStats stats() const;
+
+ private:
+  void drain(std::size_t shard_index);
+  /// Installs D(event) as the context's current pedigree key.
+  void set_dispatch_key(ShardContext& ctx, const Event& e);
+  /// Barrier half: merges outboxes in key order (drawing network verdicts
+  /// and assigning dense seqs), replays staged signs into the Notary,
+  /// merges metrics deltas, advances Simulation::now_, frees arenas.
+  void commit_staged();
+  bool key_less(const ShardContext& a, std::uint32_t a_off,
+                std::uint32_t a_len, const ShardContext& b,
+                std::uint32_t b_off, std::uint32_t b_len) const;
+
+  Simulation& sim_;
+  std::vector<std::unique_ptr<ShardContext>> shards_;
+  ShardPool pool_;
+  SimTime width_;  // W = model min latency; >= 1, enforced by set_shards
+  SimTime window_end_ = 0;
+  std::size_t windows_ = 0;
+};
+
+}  // namespace scup::sim

@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace scup::sim {
@@ -31,6 +32,8 @@ const char* proto_counter_name(ProtoCounter c) {
     case ProtoCounter::kQsetEvalsBaseline: return "scp.qset_evals_baseline";
     case ProtoCounter::kSupportUpdates: return "scp.support_updates";
     case ProtoCounter::kSupportRebuilds: return "scp.support_rebuilds";
+    case ProtoCounter::kSlotWraps: return "scp.slot_wraps";
+    case ProtoCounter::kSlotWrapsShared: return "scp.slot_wraps_shared";
     case ProtoCounter::kCount: break;
   }
   return "scp.unknown";
@@ -57,9 +60,9 @@ Simulation::Simulation(std::size_t n, NetworkConfig config,
       net_rng_(config.seed),
       notary_(n, config.seed),
       processes_(n),
-      isolated_(n, false),
-      crashed_(n, false),
-      active_(n, false),
+      isolated_(n, 0),
+      crashed_(n, 0),
+      active_(n, 0),
       activation_time_(n, 0),
       mailboxes_(n),
       timer_generations_(n) {
@@ -100,6 +103,17 @@ void Simulation::activate(ProcessId id, SimTime t) {
   activation_time_[id] = t;
 }
 
+void Simulation::set_shards(std::size_t shards) {
+  if (started_) throw std::logic_error("set_shards after start");
+  if (shards > 0 && model_->min_latency() < 1) {
+    throw std::invalid_argument(
+        "set_shards: sharded execution requires "
+        "NetworkModel::min_latency() >= 1 (the conservative window width); "
+        "this model reports 0");
+  }
+  shards_requested_ = shards;
+}
+
 void Simulation::start() {
   if (started_) throw std::logic_error("Simulation::start called twice");
   for (ProcessId id = 0; id < n_; ++id) {
@@ -112,7 +126,7 @@ void Simulation::start() {
   for (const auto& [id, t] : pending_crashes_) {
     if (t == 0) {
       // Crashed at genesis: the process never runs — not even start().
-      crashed_[id] = true;
+      crashed_[id] = 1;
       continue;
     }
     Event e;
@@ -134,8 +148,15 @@ void Simulation::start() {
   }
   for (ProcessId id = 0; id < n_; ++id) {
     if (activation_time_[id] != 0 || crashed_[id]) continue;
-    active_[id] = true;
+    active_[id] = 1;
     processes_[id]->start();
+  }
+  if (shards_requested_ > 0) {
+    // The pre-start phase above ran serially (no shard context), so its
+    // sends drew network verdicts and seqs exactly as the legacy loop
+    // would; the engine takes over from the seeded queue.
+    engine_ = std::make_unique<ShardEngine>(*this, shards_requested_);
+    engine_->seed_from(queue_);
   }
 }
 
@@ -143,16 +164,31 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   if (to >= n_) throw std::out_of_range("send: bad destination");
   if (!msg) throw std::invalid_argument("send: null message");
   if (from < n_ && crashed_[from]) return;  // a crashed process sends nothing
-  metrics_.messages_sent += 1;
+  ShardContext* ctx = engine_ ? ShardEngine::current() : nullptr;
+  SimMetrics& m = ctx ? ctx->metrics : metrics_;
+  m.messages_sent += 1;
   const std::size_t bytes = msg->byte_size();
-  metrics_.bytes_sent += bytes;
+  m.bytes_sent += bytes;
   const std::uint32_t type = msg->metrics_type_id();
-  if (type >= metrics_.messages_by_type_id.size()) {
-    metrics_.messages_by_type_id.resize(type + 1, 0);
-    metrics_.bytes_by_type_id.resize(type + 1, 0);
+  if (type >= m.messages_by_type_id.size()) {
+    m.messages_by_type_id.resize(type + 1, 0);
+    m.bytes_by_type_id.resize(type + 1, 0);
   }
-  metrics_.messages_by_type_id[type] += 1;
-  metrics_.bytes_by_type_id[type] += bytes;
+  m.messages_by_type_id[type] += 1;
+  m.bytes_by_type_id[type] += bytes;
+
+  if (ctx) {
+    // In-window: the network verdict (a draw on the global RNG) is
+    // deferred to the barrier, where staged sends replay against the model
+    // in pedigree order — the exact serial draw sequence.
+    Event e;
+    e.kind = EventKind::kDeliver;
+    e.target = to;
+    e.from = from;
+    e.msg = std::move(msg);
+    ctx->stage(std::move(e), /*is_send=*/true, ctx->now);
+    return;
+  }
 
   const NetworkModel::Verdict verdict =
       model_->on_send(from, to, now_, net_rng_);
@@ -210,28 +246,78 @@ void Simulation::enqueue_timer(ProcessId target, int timer_id, SimTime delay) {
   if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
   const std::uint64_t generation = ++timer_generation(target, timer_id);
   Event e;
-  e.time = now_ + delay;
-  e.seq = next_seq_++;
   e.kind = EventKind::kTimer;
   e.target = target;
   e.timer_id = timer_id;
   e.timer_generation = generation;
+  ShardContext* ctx = engine_ ? ShardEngine::current() : nullptr;
+  if (ctx) {
+    e.time = ctx->now + delay;
+    if (e.time < engine_->window_end()) {
+      // Fires inside the current window: run it provisionally on this
+      // shard (timers are always self-targeted, so the firing is
+      // shard-local) under a temporary seq that sorts exactly where the
+      // serial run's window-assigned seq would.
+      e.seq = kTempSeqBase + ctx->next_temp_seq++;
+      ctx->provisional_keys.emplace(e.seq, ctx->make_qkey());
+      ctx->queue.push(std::move(e));
+    } else {
+      ctx->stage(std::move(e), /*is_send=*/false, 0);
+    }
+    return;
+  }
+  e.time = now_ + delay;
+  e.seq = next_seq_++;
   queue_.push(std::move(e));
 }
 
 void Simulation::cancel_timer(ProcessId target, int timer_id) {
-  // Bumping the generation invalidates any queued firing.
+  // Bumping the generation invalidates any queued firing (including a
+  // provisional one sitting in the caller's own shard queue).
   ++timer_generation(target, timer_id);
+}
+
+Notary::Token Simulation::sign_as(ProcessId signer, std::uint64_t statement) {
+  ShardContext* ctx = engine_ ? ShardEngine::current() : nullptr;
+  if (ctx == nullptr) return notary_.sign(signer, statement);
+  const Notary::Token token = notary_.compute(signer, statement);
+  const auto [off, len] = ctx->make_qkey();
+  StagedSign sg;
+  sg.key_off = off;
+  sg.key_len = len;
+  sg.signer = signer;
+  sg.statement = statement;
+  ctx->signs.push_back(sg);
+  return token;
+}
+
+void Simulation::note_delivery(const Delivery& d) {
+  if (engine_ == nullptr) return;
+  ShardContext* ctx = ShardEngine::current();
+  if (ctx == nullptr) return;
+  // D(delivery i of the batch) = [tick, 0, seq]; the cookie carries the
+  // delivery event's seq through the batched upcall.
+  ctx->current_key.clear();
+  ctx->current_key.push_back(static_cast<std::uint64_t>(ctx->now));
+  ctx->current_key.push_back(0);
+  ctx->current_key.push_back(d.cookie);
+  ctx->intra = 0;
+}
+
+void Simulation::counter_add(ProtoCounter counter, std::uint64_t delta) {
+  ShardContext* ctx = engine_ ? ShardEngine::current() : nullptr;
+  SimMetrics& m = ctx ? ctx->metrics : metrics_;
+  m.protocol_counters[static_cast<std::size_t>(counter)] += delta;
 }
 
 void Simulation::isolate(ProcessId id) {
   if (id >= n_) throw std::out_of_range("isolate: bad id");
-  isolated_[id] = true;
+  isolated_[id] = 1;
 }
 
 void Simulation::crash(ProcessId id) {
   if (id >= n_) throw std::out_of_range("crash: bad id");
-  crashed_[id] = true;
+  crashed_[id] = 1;
 }
 
 void Simulation::crash_at(ProcessId id, SimTime t) {
@@ -246,10 +332,14 @@ void Simulation::crash_at(ProcessId id, SimTime t) {
   e.seq = next_seq_++;
   e.kind = EventKind::kCrash;
   e.target = id;
-  queue_.push(std::move(e));
+  if (engine_) {
+    engine_->push_external(std::move(e));
+  } else {
+    queue_.push(std::move(e));
+  }
 }
 
-void Simulation::dispatch(Event& event) {
+void Simulation::dispatch(Event& event, SimMetrics& metrics) {
   if (crashed_[event.target]) return;  // crashed: nothing fires, ever
   Process& p = *processes_[event.target];
   switch (event.kind) {
@@ -262,7 +352,14 @@ void Simulation::dispatch(Event& event) {
                                               std::move(event.msg));
         return;
       }
-      p.on_message(event.from, event.msg);
+      {
+        // Route through the batched upcall (count 1) so on_messages
+        // overrides observe every delivery in both execution modes; the
+        // sharded engine batches whole-tick runs upstream and never
+        // reaches this line for deliverable targets.
+        Delivery d{event.from, std::move(event.msg), event.seq};
+        p.on_messages(&d, 1);
+      }
       return;
     case EventKind::kTimer: {
       // Drop if re-armed/cancelled since scheduling.
@@ -271,12 +368,12 @@ void Simulation::dispatch(Event& event) {
       if (generation == nullptr || *generation != event.timer_generation) {
         return;
       }
-      metrics_.timer_fires += 1;
+      metrics.timer_fires += 1;
       p.on_timer(event.timer_id);
       return;
     }
     case EventKind::kActivate: {
-      active_[event.target] = true;
+      active_[event.target] = 1;
       p.start();
       auto mailbox = std::move(mailboxes_[event.target]);
       mailboxes_[event.target].clear();
@@ -287,9 +384,42 @@ void Simulation::dispatch(Event& event) {
       return;
     }
     case EventKind::kCrash:
-      crashed_[event.target] = true;
+      crashed_[event.target] = 1;
       return;
   }
+}
+
+void Simulation::absorb_metrics(SimMetrics& delta) {
+  metrics_.messages_sent += delta.messages_sent;
+  metrics_.bytes_sent += delta.bytes_sent;
+  if (delta.messages_by_type_id.size() > metrics_.messages_by_type_id.size()) {
+    metrics_.messages_by_type_id.resize(delta.messages_by_type_id.size(), 0);
+    metrics_.bytes_by_type_id.resize(delta.bytes_by_type_id.size(), 0);
+  }
+  for (std::size_t i = 0; i < delta.messages_by_type_id.size(); ++i) {
+    metrics_.messages_by_type_id[i] += delta.messages_by_type_id[i];
+    metrics_.bytes_by_type_id[i] += delta.bytes_by_type_id[i];
+  }
+  metrics_.timer_fires += delta.timer_fires;
+  metrics_.events_processed += delta.events_processed;
+  metrics_.messages_dropped += delta.messages_dropped;
+  metrics_.messages_duplicated += delta.messages_duplicated;
+  for (std::size_t i = 0; i < kProtoCounterCount; ++i) {
+    metrics_.protocol_counters[i] += delta.protocol_counters[i];
+  }
+  // Zero in place: the per-type vectors keep their size (their length only
+  // encodes the max interned id seen, which merging preserves) and their
+  // capacity, so steady-state windows allocate nothing here.
+  delta.messages_sent = 0;
+  delta.bytes_sent = 0;
+  std::fill(delta.messages_by_type_id.begin(),
+            delta.messages_by_type_id.end(), 0);
+  std::fill(delta.bytes_by_type_id.begin(), delta.bytes_by_type_id.end(), 0);
+  delta.timer_fires = 0;
+  delta.events_processed = 0;
+  delta.messages_dropped = 0;
+  delta.messages_duplicated = 0;
+  delta.protocol_counters.fill(0);
 }
 
 bool Simulation::step() {
@@ -297,12 +427,18 @@ bool Simulation::step() {
   Event event = queue_.pop();
   now_ = event.time;
   metrics_.events_processed += 1;
-  dispatch(event);
+  dispatch(event, metrics_);
   return true;
 }
 
 std::size_t Simulation::run_for(SimTime deadline) {
   if (!started_) throw std::logic_error("run_for before start");
+  if (engine_) {
+    const std::size_t before = metrics_.events_processed;
+    while (engine_->run_window(deadline)) {
+    }
+    return metrics_.events_processed - before;
+  }
   std::size_t processed = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     step();
@@ -336,7 +472,7 @@ Rng& Process::rng() { return sim_->process_rngs_[id_]; }
 std::size_t Process::universe_size() const { return sim_->size(); }
 
 std::uint64_t Process::sign(std::uint64_t statement) const {
-  return sim_->notary().sign(id_, statement);
+  return sim_->sign_as(id_, statement);
 }
 
 bool Process::verify(ProcessId signer, std::uint64_t statement,
@@ -345,7 +481,16 @@ bool Process::verify(ProcessId signer, std::uint64_t statement,
 }
 
 void Process::counter_add(ProtoCounter counter, std::uint64_t delta) {
-  sim_->metrics_.protocol_counters[static_cast<std::size_t>(counter)] += delta;
+  sim_->counter_add(counter, delta);
 }
+
+void Process::on_messages(Delivery* batch, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    begin_delivery(batch[i]);
+    on_message(batch[i].from, batch[i].msg);
+  }
+}
+
+void Process::begin_delivery(const Delivery& d) { sim_->note_delivery(d); }
 
 }  // namespace scup::sim

@@ -12,9 +12,16 @@
 // to simulated time t, with earlier deliveries buffered in its mailbox —
 // and a crash(id) fault primitive that silences a process in both
 // directions (no sends, no deliveries, no timer fires after the crash).
+//
+// Execution comes in two flavours. The default is the legacy serial loop:
+// one global calendar queue drained one event at a time. set_shards(S)
+// switches a simulation (before start) to the windowed ShardEngine
+// (sim/sharded_engine.hpp): processes are partitioned across S shards that
+// drain conservative time windows in parallel, with results bit-identical
+// across every shard count — shards == 1 is the windowed determinism
+// baseline, run on the calling thread with no pool threads.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -27,44 +34,13 @@
 #include "sim/counters.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/message.hpp"
+#include "sim/metrics.hpp"
 #include "sim/network_model.hpp"
 #include "sim/notary.hpp"
 #include "sim/process.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace scup::sim {
-
-struct SimMetrics {
-  std::size_t messages_sent = 0;
-  std::size_t bytes_sent = 0;
-  /// Per-type counters indexed by interned MessageTypeRegistry id (the
-  /// per-send hot path is one vector index; names are resolved only at
-  /// report time). Entries are 0 for types this simulation never sent.
-  std::vector<std::size_t> messages_by_type_id;
-  std::vector<std::size_t> bytes_by_type_id;
-  std::size_t timer_fires = 0;
-  std::size_t events_processed = 0;
-  /// Sends the NetworkModel lost (pre-GST loss) / duplicated.
-  std::size_t messages_dropped = 0;
-  std::size_t messages_duplicated = 0;
-  /// Protocol instrumentation (sim/counters.hpp), reported by protocol
-  /// components via ProtocolHost::host_counter_add — e.g. the SCP
-  /// QuorumEngine's closure/eval/cache counters (E13). Indexed by
-  /// ProtoCounter; deterministic per scenario, so the E12 serial==parallel
-  /// identity compare covers it.
-  std::array<std::uint64_t, kProtoCounterCount> protocol_counters{};
-
-  bool operator==(const SimMetrics&) const = default;
-
-  /// Report-time views: type name -> count/bytes for every type this
-  /// simulation actually sent.
-  std::map<std::string, std::size_t> messages_by_type() const;
-  std::map<std::string, std::size_t> bytes_by_type() const;
-  /// Report-time view of protocol_counters: counter name -> value.
-  std::map<std::string, std::uint64_t> protocol_counters_by_name() const;
-  std::uint64_t protocol_counter(ProtoCounter c) const {
-    return protocol_counters[static_cast<std::size_t>(c)];
-  }
-};
 
 class Simulation {
  public:
@@ -99,23 +75,58 @@ class Simulation {
   /// its deferred start() runs. Must be called before start(); t = 0 means
   /// the process starts with everyone else.
   void activate(ProcessId id, SimTime t);
-  bool active(ProcessId id) const { return active_[id]; }
+  bool active(ProcessId id) const { return active_[id] != 0; }
+
+  /// Switches this simulation to the windowed sharded engine with `shards`
+  /// shards (0 = legacy serial loop, the default). Must be called before
+  /// start(). Requires the network model to promise a minimum delivery
+  /// latency of at least one tick (NetworkModel::min_latency()) — that
+  /// latency is the conservative window width. Results are bit-identical
+  /// (Notary log, metrics, protocol state) for every shards >= 1 value.
+  void set_shards(std::size_t shards);
+  /// The shard count this simulation runs with (0 = legacy serial loop).
+  std::size_t shards() const {
+    return engine_ ? engine_->shards() : shards_requested_;
+  }
+  /// Sharded-engine instrumentation (zeroed in legacy mode). Kept out of
+  /// SimMetrics so the metrics identity across shard counts stays exact.
+  ShardStats shard_stats() const {
+    return engine_ ? engine_->stats() : ShardStats{};
+  }
 
   /// Calls start() on every process not scheduled by activate() (in id
   /// order). Must be called once.
   void start();
 
-  SimTime now() const { return now_; }
+  /// Current simulated time. Inside a sharded window this is the timestamp
+  /// of the event the calling shard is dispatching; between runs (and in
+  /// the legacy loop) it is the time of the last processed event.
+  SimTime now() const {
+    if (engine_ != nullptr) {
+      if (const ShardContext* ctx = ShardEngine::current()) return ctx->now;
+    }
+    return now_;
+  }
 
   /// Processes events until `predicate` holds, the event queue empties, or
   /// simulated time would exceed `deadline`. Returns true iff the predicate
   /// held. The predicate is checked after every `stride`-th event (default:
   /// every event); a larger stride trades up to stride-1 extra processed
-  /// events for not paying an expensive predicate per event.
+  /// events for not paying an expensive predicate per event. Sharded runs
+  /// check the predicate at window barriers instead (the only points where
+  /// global state is consistent), so the stop point — and with it the final
+  /// metrics — is identical for every shards >= 1 count, though not
+  /// necessarily to the legacy loop's per-event stop point.
   template <typename Pred>
   bool run_until(Pred&& predicate, SimTime deadline, std::size_t stride = 1) {
     if (!started_) throw std::logic_error("run_until before start");
     if (predicate()) return true;
+    if (engine_) {
+      while (engine_->run_window(deadline)) {
+        if (predicate()) return true;
+      }
+      return predicate();
+    }
     if (stride == 0) stride = 1;
     std::size_t since_check = 0;
     while (!queue_.empty() && queue_.next_time() <= deadline) {
@@ -129,7 +140,8 @@ class Simulation {
   }
 
   /// Processes all events with time <= deadline (or until the queue runs
-  /// dry). Returns the number of events processed.
+  /// dry). Returns the number of events processed. Drains the same event
+  /// set in every execution mode, so legacy and sharded runs agree here.
   std::size_t run_for(SimTime deadline);
 
   const SimMetrics& metrics() const { return metrics_; }
@@ -148,10 +160,11 @@ class Simulation {
   /// Schedules crash(id) at simulated time `t` (>= now). Usable before or
   /// after start().
   void crash_at(ProcessId id, SimTime t);
-  bool crashed(ProcessId id) const { return crashed_[id]; }
+  bool crashed(ProcessId id) const { return crashed_[id] != 0; }
 
  private:
   friend class Process;
+  friend class ShardEngine;
 
   void enqueue_send(ProcessId from, ProcessId to, MessagePtr msg);
   void enqueue_timer(ProcessId target, int timer_id, SimTime delay);
@@ -159,8 +172,23 @@ class Simulation {
   std::uint64_t& timer_generation(ProcessId target, int timer_id);
   const std::uint64_t* find_timer_generation(ProcessId target,
                                              int timer_id) const;
-  void dispatch(Event& event);
-  bool step();  // processes one event; false if queue empty
+  /// Signs as `signer`: direct Notary sign outside a window; inside a
+  /// window the token is computed immediately and the log append is staged
+  /// on the caller's shard for the barrier replay.
+  Notary::Token sign_as(ProcessId signer, std::uint64_t statement);
+  /// Shard-mode pedigree hook behind Process::begin_delivery.
+  void note_delivery(const Delivery& d);
+  void counter_add(ProtoCounter counter, std::uint64_t delta);
+  bool deliverable(ProcessId id) const {
+    return active_[id] != 0 && isolated_[id] == 0 && crashed_[id] == 0;
+  }
+  /// Dispatches one event, attributing metrics to `metrics` (the global
+  /// struct in the legacy loop, a shard's window delta under the engine).
+  void dispatch(Event& event, SimMetrics& metrics);
+  /// Adds `delta` into metrics_ field-by-field, then zeroes `delta` in
+  /// place (keeping its vector capacity). Barrier-side shard merge.
+  void absorb_metrics(SimMetrics& delta);
+  bool step();  // legacy loop: processes one event; false if queue empty
 
   std::size_t n_;
   NetworkConfig config_;
@@ -171,9 +199,12 @@ class Simulation {
   Notary notary_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> process_rngs_;
-  std::vector<bool> isolated_;
-  std::vector<bool> crashed_;
-  std::vector<bool> active_;
+  // Byte-sized flags, not std::vector<bool>: shards read neighbouring
+  // entries concurrently, and vector<bool>'s bit packing would make those
+  // reads race on shared words.
+  std::vector<std::uint8_t> isolated_;
+  std::vector<std::uint8_t> crashed_;
+  std::vector<std::uint8_t> active_;
   std::vector<SimTime> activation_time_;  // 0 = start with everyone else
   std::vector<std::pair<ProcessId, SimTime>> pending_crashes_;
   /// Pre-activation deliveries, in arrival order.
@@ -184,6 +215,8 @@ class Simulation {
   std::vector<std::vector<std::pair<int, std::uint64_t>>> timer_generations_;
   CalendarQueue queue_;
   SimMetrics metrics_;
+  std::size_t shards_requested_ = 0;
+  std::unique_ptr<ShardEngine> engine_;
   bool started_ = false;
 };
 

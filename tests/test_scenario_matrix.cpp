@@ -45,6 +45,7 @@ bool reports_identical(const ScenarioReport& a, const ScenarioReport& b) {
          a.sd_sink_exact == b.sd_sink_exact &&
          a.sd_flags_correct == b.sd_flags_correct &&
          a.true_sink == b.true_sink && a.metrics == b.metrics &&
+         a.notary_fingerprint == b.notary_fingerprint &&
          a.end_time == b.end_time;
 }
 

@@ -1,0 +1,419 @@
+// Shard-count invariance suite for the windowed sharded engine: for every
+// workload here, running with shards in {1, 2, 3, 8} must produce
+// bit-identical observables — SimMetrics, the Notary sign log fingerprint,
+// per-process receipt logs, ledger chain digests — because the engine's
+// contract is that sharding changes wall-clock time and nothing else.
+// run_for() drains the same event set as the legacy serial loop, so those
+// tests additionally pin sharded == legacy; run_until() scenarios compare
+// shards >= 2 against the shards == 1 windowed baseline (barrier-granular
+// stops are identical across shard counts but not vs the per-event legacy
+// stop).
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/ledger_node.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+
+namespace scup::sim {
+namespace {
+
+NetworkConfig gossip_net(SimTime min_delay, SimTime max_delay,
+                         std::uint64_t seed) {
+  NetworkConfig net;
+  net.gst = 0;
+  net.min_delay = min_delay;
+  net.max_delay = max_delay;
+  net.seed = seed;
+  return net;
+}
+
+struct GossipMsg final : Message {
+  GossipMsg(int t, std::uint64_t g) : ttl(t), tag(g) {}
+  int ttl;
+  std::uint64_t tag;
+  std::string type_name() const override { return "test.gossip"; }
+  std::size_t byte_size() const override { return 24; }
+};
+
+/// Fans gossip across the ring, signing every receipt, re-arming short
+/// timers (delays below the window width, so the sharded engine must take
+/// its provisional-event path) and spawning follow-up sends — a workload
+/// that exercises every staged-effect kind at once.
+class GossipNode : public Process {
+ public:
+  GossipNode(std::size_t n, int ttl) : n_(n), ttl0_(ttl) {}
+
+  void start() override {
+    sign(0x5eed0000 + id());
+    send((id() + 1) % n_, make_message<GossipMsg>(ttl0_, id() * 7 + 1));
+    send((id() + 5) % n_, make_message<GossipMsg>(ttl0_ - 1, id() * 13 + 2));
+    set_timer(1, 1 + id() % 3);
+  }
+
+  void on_message(ProcessId from, const MessagePtr& msg) override {
+    const auto& g = dynamic_cast<const GossipMsg&>(*msg);
+    log_.push_back(hash_mix(hash_mix(from, g.tag), now(),
+                            static_cast<std::uint64_t>(g.ttl)));
+    sign(g.tag * 31 + static_cast<std::uint64_t>(g.ttl));
+    if (g.ttl > 0) {
+      send((id() + g.tag) % n_, make_message<GossipMsg>(g.ttl - 1, g.tag + 1));
+      if (g.ttl % 2 == 1) set_timer(2, g.tag % 4);
+    }
+  }
+
+  void on_timer(int timer_id) override {
+    log_.push_back(
+        hash_mix(0x717e5, static_cast<std::uint64_t>(timer_id), now()));
+    if (timer_id == 1 && ++reps_ < 4) set_timer(1, 2);
+  }
+
+  std::vector<std::uint64_t> log_;
+
+ private:
+  std::size_t n_;
+  int ttl0_;
+  int reps_ = 0;
+};
+
+struct GossipRun {
+  SimMetrics metrics;
+  std::uint64_t fingerprint = 0;
+  std::vector<std::vector<std::uint64_t>> logs;
+  ShardStats stats;
+  SimTime end = 0;
+};
+
+constexpr std::size_t kGossipN = 24;
+
+GossipRun run_gossip(std::size_t shards, const NetworkConfig& net) {
+  Simulation sim(kGossipN, net);
+  std::vector<GossipNode*> nodes;
+  for (ProcessId i = 0; i < kGossipN; ++i) {
+    nodes.push_back(&sim.emplace_process<GossipNode>(i, kGossipN, 6));
+  }
+  sim.set_shards(shards);
+  sim.start();
+  sim.run_for(100'000);
+  GossipRun out;
+  out.metrics = sim.metrics();
+  out.fingerprint = sim.notary().fingerprint();
+  for (auto* node : nodes) out.logs.push_back(node->log_);
+  out.stats = sim.shard_stats();
+  out.end = sim.now();
+  return out;
+}
+
+TEST(ShardedSimulationTest, SetShardsAfterStartThrows) {
+  Simulation sim(2, gossip_net(1, 5, 1));
+  sim.emplace_process<GossipNode>(0, 2, 1);
+  sim.emplace_process<GossipNode>(1, 2, 1);
+  sim.start();
+  EXPECT_THROW(sim.set_shards(2), std::logic_error);
+}
+
+TEST(ShardedSimulationTest, RejectsModelsWithoutMinimumLatency) {
+  // min_delay = 0 means the UniformModel cannot promise the >= 1 tick
+  // conservative window the engine needs.
+  Simulation sim(2, gossip_net(0, 5, 1));
+  EXPECT_THROW(sim.set_shards(2), std::invalid_argument);
+  sim.set_shards(0);  // legacy loop needs no latency floor
+}
+
+TEST(ShardedSimulationTest, WindowedMatchesLegacyOnFullDrain) {
+  const NetworkConfig net = gossip_net(1, 7, 42);
+  const GossipRun legacy = run_gossip(0, net);
+  const GossipRun windowed = run_gossip(1, net);
+  EXPECT_EQ(legacy.metrics, windowed.metrics);
+  EXPECT_EQ(legacy.fingerprint, windowed.fingerprint);
+  EXPECT_EQ(legacy.logs, windowed.logs);
+  EXPECT_EQ(legacy.end, windowed.end);
+  // Legacy runs report zeroed shard stats; the windowed run worked.
+  EXPECT_EQ(legacy.stats.windows, 0u);
+  EXPECT_EQ(legacy.stats.shards, 0u);
+  EXPECT_GT(windowed.stats.windows, 0u);
+  EXPECT_EQ(windowed.stats.shards, 1u);
+}
+
+TEST(ShardedSimulationTest, ShardCountInvarianceAcrossSeeds) {
+  for (std::uint64_t seed : {3u, 19u}) {
+    const NetworkConfig net = gossip_net(2, 9, seed);
+    const GossipRun base = run_gossip(1, net);
+    ASSERT_NE(base.fingerprint, 0u);
+    for (std::size_t shards : {2u, 3u, 8u}) {
+      const GossipRun run = run_gossip(shards, net);
+      EXPECT_EQ(run.metrics, base.metrics)
+          << "metrics diverged at shards=" << shards << " seed=" << seed;
+      EXPECT_EQ(run.fingerprint, base.fingerprint)
+          << "sign log diverged at shards=" << shards << " seed=" << seed;
+      EXPECT_EQ(run.logs, base.logs)
+          << "receipts diverged at shards=" << shards << " seed=" << seed;
+      EXPECT_EQ(run.end, base.end);
+      EXPECT_EQ(run.stats.shards, shards);
+      // The window schedule is shard-count-invariant by construction.
+      EXPECT_EQ(run.stats.windows, base.stats.windows);
+    }
+  }
+}
+
+TEST(ShardedSimulationTest, ProvisionalTimersStayInWindow) {
+  // min_delay = 3 makes the window 3 ticks wide; gossip timers use delays
+  // 0..3, so sub-window timers must run provisionally inside the window
+  // rather than waiting for a barrier — and the result must not change.
+  const NetworkConfig net = gossip_net(3, 11, 7);
+  const GossipRun base = run_gossip(1, net);
+  const GossipRun sharded = run_gossip(4, net);
+  EXPECT_EQ(sharded.metrics, base.metrics);
+  EXPECT_EQ(sharded.fingerprint, base.fingerprint);
+  EXPECT_EQ(sharded.logs, base.logs);
+  EXPECT_GT(base.stats.provisional_events, 0u);
+  EXPECT_GT(sharded.stats.provisional_events, 0u);
+  // Legacy full drain agrees as well.
+  const GossipRun legacy = run_gossip(0, net);
+  EXPECT_EQ(legacy.metrics, base.metrics);
+  EXPECT_EQ(legacy.fingerprint, base.fingerprint);
+  EXPECT_EQ(legacy.logs, base.logs);
+}
+
+/// Overrides the batched upcall to count how the engine groups same-tick
+/// deliveries, forwarding each delivery through the documented
+/// begin_delivery + on_message protocol.
+class FanInNode : public Process {
+ public:
+  void on_messages(Delivery* batch, std::size_t count) override {
+    ++upcalls_;
+    largest_batch_ = std::max(largest_batch_, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      begin_delivery(batch[i]);
+      on_message(batch[i].from, batch[i].msg);
+    }
+  }
+  void on_message(ProcessId from, const MessagePtr& msg) override {
+    const auto& g = dynamic_cast<const GossipMsg&>(*msg);
+    order_.push_back(hash_mix(from, g.tag, now()));
+  }
+
+  std::size_t upcalls_ = 0;
+  std::size_t largest_batch_ = 0;
+  std::vector<std::uint64_t> order_;
+};
+
+class BlastNode : public Process {
+ public:
+  BlastNode(ProcessId target, int count) : target_(target), count_(count) {}
+  void start() override {
+    for (int i = 0; i < count_; ++i) {
+      send(target_, make_message<GossipMsg>(0, id() * 100 + i));
+    }
+  }
+  void on_message(ProcessId, const MessagePtr&) override {}
+
+ private:
+  ProcessId target_;
+  int count_;
+};
+
+TEST(ShardedSimulationTest, SameTickDeliveriesBatchIntoOneUpcall) {
+  // A fixed-delay net lands every blast in the same tick: the sharded
+  // engine must hand process 0 one upcall covering all of them, in the
+  // exact order the legacy loop would deliver them.
+  NetworkConfig net = gossip_net(5, 5, 11);
+  constexpr int kSenders = 6;
+  constexpr int kEach = 4;
+  auto run = [&](std::size_t shards) {
+    Simulation sim(kSenders + 1, net);
+    auto& sink = sim.emplace_process<FanInNode>(0);
+    for (ProcessId i = 1; i <= kSenders; ++i) {
+      sim.emplace_process<BlastNode>(i, 0, kEach);
+    }
+    sim.set_shards(shards);
+    sim.start();
+    sim.run_for(1'000);
+    return std::make_tuple(sink.upcalls_, sink.largest_batch_, sink.order_,
+                           sim.shard_stats(), sim.metrics());
+  };
+  const auto [legacy_up, legacy_max, legacy_order, legacy_stats,
+              legacy_metrics] = run(0);
+  const auto [up, max_batch, order, stats, metrics] = run(2);
+  // Legacy delivers one message per upcall; sharded groups the whole tick.
+  EXPECT_EQ(legacy_up, std::size_t{kSenders * kEach});
+  EXPECT_EQ(legacy_max, 1u);
+  EXPECT_EQ(up, 1u);
+  EXPECT_EQ(max_batch, std::size_t{kSenders * kEach});
+  EXPECT_EQ(order, legacy_order);
+  EXPECT_EQ(metrics, legacy_metrics);
+  EXPECT_EQ(stats.batch_upcalls, 1u);
+  EXPECT_EQ(stats.batched_messages, std::size_t{kSenders * kEach});
+}
+
+TEST(ShardedSimulationTest, ScheduledCrashRoutesThroughTheEngine) {
+  const NetworkConfig net = gossip_net(1, 6, 23);
+  auto run = [&](std::size_t shards) {
+    Simulation sim(kGossipN, net);
+    std::vector<GossipNode*> nodes;
+    for (ProcessId i = 0; i < kGossipN; ++i) {
+      nodes.push_back(&sim.emplace_process<GossipNode>(i, kGossipN, 6));
+    }
+    sim.crash_at(3, 10);
+    sim.crash_at(7, 25);
+    sim.set_shards(shards);
+    sim.start();
+    sim.run_for(100'000);
+    GossipRun out;
+    out.metrics = sim.metrics();
+    out.fingerprint = sim.notary().fingerprint();
+    for (auto* node : nodes) out.logs.push_back(node->log_);
+    return out;
+  };
+  const GossipRun legacy = run(0);
+  const GossipRun base = run(1);
+  const GossipRun sharded = run(3);
+  EXPECT_EQ(base.metrics, legacy.metrics);
+  EXPECT_EQ(base.fingerprint, legacy.fingerprint);
+  EXPECT_EQ(base.logs, legacy.logs);
+  EXPECT_EQ(sharded.metrics, base.metrics);
+  EXPECT_EQ(sharded.fingerprint, base.fingerprint);
+  EXPECT_EQ(sharded.logs, base.logs);
+}
+
+}  // namespace
+}  // namespace scup::sim
+
+namespace scup::core {
+namespace {
+
+bool reports_identical(const ScenarioReport& a, const ScenarioReport& b) {
+  return a.all_decided == b.all_decided && a.agreement == b.agreement &&
+         a.validity == b.validity && a.decided_value == b.decided_value &&
+         a.first_decision == b.first_decision &&
+         a.last_decision == b.last_decision &&
+         a.decision_times == b.decision_times &&
+         a.sd_all_returned == b.sd_all_returned &&
+         a.sd_sink_exact == b.sd_sink_exact &&
+         a.sd_flags_correct == b.sd_flags_correct &&
+         a.true_sink == b.true_sink && a.metrics == b.metrics &&
+         a.notary_fingerprint == b.notary_fingerprint &&
+         a.end_time == b.end_time;
+}
+
+TEST(ShardedScenarioTest, EveryShardCountMatchesTheWindowedBaseline) {
+  // Satellite: fuzz shard counts across both protocols and several seeds on
+  // the E12 churn + partition family. Every cell must decide and every
+  // shards >= 2 report must be bit-identical (fingerprint included) to the
+  // shards == 1 windowed run of the same config.
+  for (ProtocolKind protocol :
+       {ProtocolKind::kStellarSd, ProtocolKind::kBftCup}) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      ChurnPartitionParams p;
+      p.n = 12;
+      p.f = 1;
+      p.protocol = protocol;
+      p.late_fraction = 0.5;
+      p.late_window = 1'000;
+      p.with_partition = true;
+      p.gst = 1'500;
+      p.seed = seed;
+      ScenarioConfig cfg = churn_partition_scenario(p);
+      cfg.shards = 1;
+      const ScenarioReport base = run_scenario(cfg);
+      EXPECT_TRUE(base.all_decided);
+      EXPECT_TRUE(base.agreement);
+      EXPECT_NE(base.notary_fingerprint, 0u);
+      for (std::size_t shards : {2u, 3u, 8u}) {
+        cfg.shards = shards;
+        const ScenarioReport r = run_scenario(cfg);
+        EXPECT_TRUE(reports_identical(r, base))
+            << "shards=" << shards << " seed=" << seed << " protocol="
+            << static_cast<int>(protocol)
+            << " diverged from the windowed baseline";
+      }
+    }
+  }
+}
+
+TEST(ShardedScenarioTest, AllMatrixShapesAreShardInvariant) {
+  // The four E12 shapes (churn / +partition / +loss / +crash) each stress a
+  // different engine path: mailbox activation, partition heal verdicts,
+  // drop replay through the deferred RNG, and external crash events.
+  for (int shape = 0; shape < 4; ++shape) {
+    ChurnPartitionParams p;
+    p.n = 12;
+    p.f = 1;
+    p.gst = 1'500;
+    p.late_window = 1'000;
+    p.seed = 5;
+    p.with_partition = shape >= 1;
+    if (shape == 2) p.pre_gst_drop = 0.2;
+    p.with_crash = shape == 3;
+    ScenarioConfig cfg = churn_partition_scenario(p);
+    cfg.shards = 1;
+    const ScenarioReport base = run_scenario(cfg);
+    EXPECT_TRUE(base.all_decided) << "shape=" << shape;
+    cfg.shards = 2;
+    const ScenarioReport sharded = run_scenario(cfg);
+    EXPECT_TRUE(reports_identical(sharded, base))
+        << "shape=" << shape << " diverged between shards=1 and shards=2";
+  }
+}
+
+TEST(ShardedScenarioTest, LedgerChainsAndZeroCopyWrapsAreShardInvariant) {
+  // Multi-slot SCP through the sharded engine: chains must match across
+  // replicas and across shard counts, and the SlotHost shared-wrap cache
+  // must be serving broadcasts (the zero-copy envelope path).
+  const auto g = graph::fig2_graph();
+  constexpr std::uint64_t kSlots = 3;
+  struct LedgerRun {
+    std::uint64_t digest = 0;
+    std::uint64_t fingerprint = 0;
+    sim::SimMetrics metrics;
+  };
+  auto run = [&](std::size_t shards) {
+    sim::NetworkConfig net;
+    net.seed = 17;
+    net.min_delay = 1;
+    net.max_delay = 10;
+    sim::Simulation sim(g.node_count(), net);
+    std::vector<LedgerNode*> nodes;
+    for (ProcessId i = 0; i < g.node_count(); ++i) {
+      nodes.push_back(
+          &sim.emplace_process<LedgerNode>(i, g.pd_of(i), 1, kSlots));
+    }
+    sim.set_shards(shards);
+    sim.start();
+    const bool done = sim.run_until(
+        [&] {
+          for (auto* node : nodes) {
+            if (node->decided_slots() < kSlots) return false;
+          }
+          return true;
+        },
+        3'000'000);
+    EXPECT_TRUE(done) << "shards=" << shards;
+    LedgerRun out;
+    out.digest = nodes[0]->chain_digest();
+    for (auto* node : nodes) EXPECT_EQ(node->chain_digest(), out.digest);
+    out.fingerprint = sim.notary().fingerprint();
+    out.metrics = sim.metrics();
+    return out;
+  };
+  const LedgerRun base = run(1);
+  const LedgerRun sharded = run(2);
+  EXPECT_NE(base.digest, 0u);
+  EXPECT_EQ(sharded.digest, base.digest);
+  EXPECT_EQ(sharded.fingerprint, base.fingerprint);
+  EXPECT_EQ(sharded.metrics, base.metrics);
+  const auto shared =
+      base.metrics.protocol_counter(sim::ProtoCounter::kSlotWrapsShared);
+  const auto wraps =
+      base.metrics.protocol_counter(sim::ProtoCounter::kSlotWraps);
+  EXPECT_GT(wraps, 0u);
+  // Broadcasts go to several peers: most sends must hit the cache.
+  EXPECT_GT(shared, wraps);
+}
+
+}  // namespace
+}  // namespace scup::core

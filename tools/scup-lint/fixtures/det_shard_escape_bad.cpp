@@ -1,0 +1,14 @@
+// Fixture: det-shard-escape must fire on raw thread primitives in src/sim/
+// outside sim/shard_pool, and on engine-global simulation state touched
+// outside a shard-barrier region in sim/shard* files.
+#include <thread>
+
+void escape_thread() {
+  std::thread t([] {});
+  t.detach();
+}
+
+void escape_globals(Sim& sim_) {
+  sim_.next_seq_ += 1;
+  sim_.net_rng_.next_u64();
+}

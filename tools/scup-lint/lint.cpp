@@ -201,6 +201,9 @@ struct PathScope {
   bool in_bench = false;
   bool is_rng = false;           ///< src/common/rng.*
   bool is_matrix_runner = false; ///< src/core/scenario_matrix.*
+  bool in_sim = false;           ///< src/sim/
+  bool is_shard_file = false;    ///< src/sim/shard* (the sharded engine)
+  bool is_shard_pool = false;    ///< src/sim/shard_pool.*
 };
 
 PathScope classify(const std::string& rel_path) {
@@ -210,6 +213,9 @@ PathScope classify(const std::string& rel_path) {
   s.in_bench = starts_with(rel_path, "bench/");
   s.is_rng = starts_with(rel_path, "src/common/rng.");
   s.is_matrix_runner = starts_with(rel_path, "src/core/scenario_matrix.");
+  s.in_sim = starts_with(rel_path, "src/sim/");
+  s.is_shard_file = starts_with(rel_path, "src/sim/shard");
+  s.is_shard_pool = starts_with(rel_path, "src/sim/shard_pool.");
   return s;
 }
 
@@ -339,7 +345,10 @@ void rule_raw_random(const std::string& rel_path, ParsedFile& file,
 void rule_raw_thread(const std::string& rel_path, ParsedFile& file,
                      std::vector<Finding>& findings) {
   const PathScope scope = classify(rel_path);
-  if (!scope.in_src || scope.is_matrix_runner) return;
+  // src/sim/ is det-shard-escape's territory (the sharded engine has its
+  // own sanctioned thread owner there); keeping the scopes disjoint means
+  // one finding, with the right message, per violation.
+  if (!scope.in_src || scope.is_matrix_runner || scope.in_sim) return;
   static constexpr std::string_view kBanned[] = {"thread", "jthread",
                                                  "async"};
   for (std::size_t i = 0; i < file.lines.size(); ++i) {
@@ -360,6 +369,97 @@ void rule_raw_thread(const std::string& rel_path, ParsedFile& file,
         "raw threading primitive outside core/scenario_matrix; all "
         "parallelism must go through parallel_cells so the "
         "serial==parallel identity proof (E12) stays meaningful"});
+  }
+}
+
+// ---- rule: det-shard-escape ----
+
+/// 1-based inclusive line ranges marked `// shard-barrier begin(<why>)` ...
+/// `// shard-barrier end` — the regions where shard-engine code may touch
+/// engine-global state (every shard thread is parked at the barrier). An
+/// unterminated begin extends to end of file.
+std::vector<std::pair<std::size_t, std::size_t>> barrier_regions(
+    const std::vector<ScannedLine>& lines) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  std::size_t open = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& comment = lines[i].comment;
+    if (comment.find("shard-barrier begin") != std::string::npos) {
+      if (open == 0) open = i + 1;
+    } else if (comment.find("shard-barrier end") != std::string::npos) {
+      if (open != 0) {
+        out.emplace_back(open, i + 1);
+        open = 0;
+      }
+    }
+  }
+  if (open != 0) out.emplace_back(open, lines.size());
+  return out;
+}
+
+bool in_barrier_region(
+    const std::vector<std::pair<std::size_t, std::size_t>>& regions,
+    std::size_t line) {
+  for (const auto& [begin, end] : regions) {
+    if (line >= begin && line <= end) return true;
+  }
+  return false;
+}
+
+void rule_shard_escape(const std::string& rel_path, ParsedFile& file,
+                       std::vector<Finding>& findings) {
+  const PathScope scope = classify(rel_path);
+  if (!scope.in_sim) return;
+  // (a) Raw threading inside the simulator belongs to sim/shard_pool alone:
+  // the pool's fork/join is what gives the engine its happens-before edges,
+  // so a stray thread or async task is a determinism hole by construction.
+  if (!scope.is_shard_pool) {
+    static constexpr std::string_view kSpawns[] = {"std::thread",
+                                                   "std::jthread",
+                                                   "std::async"};
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+      const std::string& code = file.lines[i].code;
+      bool hit = false;
+      for (std::string_view token : kSpawns) {
+        if (code.find(token) != std::string::npos) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit && code.find(".detach(") != std::string::npos) hit = true;
+      if (!hit) continue;
+      findings.push_back(Finding{
+          rel_path, i + 1, std::string(kRuleShardEscape),
+          "raw threading primitive in src/sim/ outside sim/shard_pool; all "
+          "shard parallelism must go through ShardPool so the window-"
+          "barrier discipline (DESIGN.md §4.6) keeps sharded runs "
+          "bit-identical to serial"});
+    }
+  }
+  // (b) In shard-engine files, engine-global simulation state may only be
+  // touched between barrier markers. Any mention counts: shard-side code
+  // has no business even reading these while windows are in flight.
+  if (scope.is_shard_file) {
+    const auto regions = barrier_regions(file.lines);
+    static constexpr std::string_view kGlobals[] = {
+        "next_seq_", "net_rng_", "notary_", "metrics_",
+        "now_",      "queue_",   "started_",
+    };
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+      const std::string& code = file.lines[i].code;
+      for (std::string_view global : kGlobals) {
+        if (!contains_word(code, global)) continue;
+        if (in_barrier_region(regions, i + 1)) break;
+        findings.push_back(Finding{
+            rel_path, i + 1, std::string(kRuleShardEscape),
+            "engine-global state '" + std::string(global) +
+                "' touched outside a `// shard-barrier begin(<why>)` "
+                "region; shard code may only touch non-shard-local state "
+                "at the window barrier, where every shard thread is "
+                "parked"});
+        break;  // one finding per line is enough
+      }
+    }
   }
 }
 
@@ -683,8 +783,9 @@ std::vector<std::string> collect_unordered_idents(const std::string& content) {
 
 bool rule_suppressible(std::string_view rule) {
   return rule == kRuleUnorderedIter || rule == kRuleRawRandom ||
-         rule == kRuleRawThread || rule == kRuleUnguardedStatic ||
-         rule == kRuleNarrowingCast || rule == kRuleUnboundedMap;
+         rule == kRuleShardEscape || rule == kRuleRawThread ||
+         rule == kRuleUnguardedStatic || rule == kRuleNarrowingCast ||
+         rule == kRuleUnboundedMap;
 }
 
 std::vector<Finding> lint_file(const std::string& rel_path,
@@ -694,6 +795,7 @@ std::vector<Finding> lint_file(const std::string& rel_path,
   std::vector<Finding> findings = file.annotation_errors;
   rule_unordered_iter(rel_path, file, opts, findings);
   rule_raw_random(rel_path, file, findings);
+  rule_shard_escape(rel_path, file, findings);
   rule_raw_thread(rel_path, file, findings);
   rule_unguarded_static(rel_path, file, findings);
   rule_narrowing_cast(rel_path, file, findings);

@@ -20,10 +20,22 @@
 //                           `order-insensitive(<why>)` annotation.
 //     det-raw-random        std::rand / srand / random_device / mt19937 /
 //                           wall-clock time outside src/common/rng.
+//     det-shard-escape      in src/sim/: a raw thread primitive outside
+//                           sim/shard_pool (the sharded engine's one
+//                           sanctioned thread owner), or — in sim/shard*
+//                           files — engine-global simulation state
+//                           (next_seq_, net_rng_, notary_, metrics_, now_,
+//                           queue_, started_) touched outside a
+//                           `// shard-barrier begin(<why>)` ...
+//                           `// shard-barrier end` region. Shard code may
+//                           only touch global state at the window barrier,
+//                           where every shard thread is parked.
 //
 //   concurrency
 //     conc-raw-thread       std::thread / std::jthread / std::async /
-//                           .detach() in src/ outside core/scenario_matrix.
+//                           .detach() in src/ outside core/scenario_matrix
+//                           and outside src/sim/ (where det-shard-escape
+//                           owns the thread discipline).
 //     conc-unguarded-static mutable static without a `guarded-by(<mutex>)`
 //                           or `thread-safe(<why>)` annotation.
 //
@@ -63,6 +75,7 @@ namespace scup::lint {
 // ---- rule ids ----
 inline constexpr std::string_view kRuleUnorderedIter = "det-unordered-iter";
 inline constexpr std::string_view kRuleRawRandom = "det-raw-random";
+inline constexpr std::string_view kRuleShardEscape = "det-shard-escape";
 inline constexpr std::string_view kRuleRawThread = "conc-raw-thread";
 inline constexpr std::string_view kRuleUnguardedStatic =
     "conc-unguarded-static";

@@ -136,6 +136,51 @@ TEST(RuleRawThread, ExemptInsideScenarioMatrix) {
   EXPECT_EQ(count_rule(findings, kRuleRawThread), 0u);
 }
 
+TEST(RuleShardEscape, FiresOnThreadsAndGlobalsInShardFiles) {
+  const auto findings =
+      lint_fixture("det_shard_escape_bad.cpp", "src/sim/sharded_engine.cpp");
+  // std::thread spawn, .detach, next_seq_, net_rng_.
+  EXPECT_EQ(count_rule(findings, kRuleShardEscape), 4u);
+  EXPECT_TRUE(has_finding(findings, kRuleShardEscape, 7));
+  EXPECT_TRUE(has_finding(findings, kRuleShardEscape, 12));
+  // conc-raw-thread stays out of src/sim/: disjoint scopes mean one
+  // finding, with the sharding-specific message, per violation.
+  EXPECT_EQ(count_rule(findings, kRuleRawThread), 0u);
+}
+
+TEST(RuleShardEscape, GlobalsCheckedOnlyInShardEngineFiles) {
+  // simulation.cpp is src/sim/ but not a shard* file: mutating the global
+  // engine state is the serial loop's job, only the thread ban applies.
+  const auto findings =
+      lint_fixture("det_shard_escape_bad.cpp", "src/sim/simulation.cpp");
+  EXPECT_EQ(count_rule(findings, kRuleShardEscape), 2u);
+  EXPECT_TRUE(has_finding(findings, kRuleShardEscape, 7));
+  EXPECT_TRUE(has_finding(findings, kRuleShardEscape, 8));
+}
+
+TEST(RuleShardEscape, ThreadsExemptInsideShardPool) {
+  // The pool is the sanctioned thread owner, but it is still a shard file:
+  // the engine-global checks keep applying there.
+  const auto findings =
+      lint_fixture("det_shard_escape_bad.cpp", "src/sim/shard_pool.cpp");
+  EXPECT_EQ(count_rule(findings, kRuleShardEscape), 2u);
+  EXPECT_TRUE(has_finding(findings, kRuleShardEscape, 12));
+  EXPECT_TRUE(has_finding(findings, kRuleShardEscape, 13));
+}
+
+TEST(RuleShardEscape, ScopedToSim) {
+  const auto findings =
+      lint_fixture("det_shard_escape_bad.cpp", "src/core/fix.cpp");
+  EXPECT_EQ(count_rule(findings, kRuleShardEscape), 0u);
+  EXPECT_EQ(count_rule(findings, kRuleRawThread), 2u);
+}
+
+TEST(RuleShardEscape, QuietInsideBarrierRegion) {
+  const auto findings =
+      lint_fixture("det_shard_escape_ok.cpp", "src/sim/sharded_engine.cpp");
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
 TEST(RuleUnguardedStatic, FiresOnMutableStaticOnly) {
   const auto findings =
       lint_fixture("conc_unguarded_static_bad.cpp", "src/fix.cpp");
