@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -160,6 +161,20 @@ inline bool write_bench_summary(const std::string& id,
   }
   std::fprintf(out, "{\n  \"experiment\": \"%s\",\n", json_escape(id).c_str());
   std::fprintf(out, "  \"args\": \"%s\",\n", json_escape(argline).c_str());
+  // Host provenance: perf numbers are only comparable across runs on the
+  // same substrate, so every artifact records what it ran on.
+  const char* threads_env = std::getenv("SCUP_BENCH_THREADS");
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::fprintf(out,
+               "  \"host\": {\"cores\": %u, \"bench_threads\": \"%s\", "
+               "\"build_type\": \"%s\"},\n",
+               std::thread::hardware_concurrency(),
+               json_escape(threads_env != nullptr ? threads_env : "").c_str(),
+               build_type);
   std::fprintf(out, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];

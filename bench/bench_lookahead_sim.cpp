@@ -1,0 +1,277 @@
+// E15: lookahead windows. Three claims, one bench binary:
+//
+//  1. Window schedule (BM_Het / BM_WindowRatio): on a heterogeneous
+//     topology — slow 6-tick base links with fast 1-tick intra-shard
+//     lanes — per-pair lookahead must run at least 2x fewer (and 2x
+//     wider) conservative windows than the pre-lookahead global-min
+//     floor, at bit-identical results. Rows report windows, average
+//     window width, and the send-time verdict counters (inline_verdicts,
+//     provisional_sends) that prove the RNG work moved off the barrier.
+//  2. Identity (BM_LookaheadIdentity): the full feature set (het links,
+//     a partition window, pre-GST loss + duplication) at shard counts
+//     {0, 1, 2, 3, 8} must produce bit-identical metrics and Notary
+//     fingerprints; a mismatch fails the bench run.
+//  3. Discovery sharing (BM_DiscoveryPayloadSharing): E12 scenario
+//     shapes report the shared-payload counters of the discovery
+//     broadcast plane — payload_shared / (payload_builds +
+//     payload_shared) is the fraction of sends served by a cached
+//     message instead of a fresh construction + size walk.
+#include "bench_common.hpp"
+
+#include "sim/simulation.hpp"
+
+namespace scup {
+namespace {
+
+struct HetMsg final : sim::Message {
+  HetMsg(int t, std::uint64_t g) : ttl(t), tag(g) {}
+  int ttl;
+  std::uint64_t tag;
+  std::string type_name() const override { return "bench.het"; }
+  std::size_t byte_size() const override { return 24; }
+};
+
+/// The heterogeneous-plane workload: the (id -> id+2) lane rides the fast
+/// link overrides (intra-shard under an even/odd split), everything else
+/// crosses shards on slow base links. Per-delivery hash work gives the
+/// shards something to run in parallel.
+class HetNode : public sim::Process {
+ public:
+  HetNode(std::size_t n, int ttl) : n_(n), ttl0_(ttl) {}
+
+  void start() override {
+    send((id() + 1) % n_, sim::make_message<HetMsg>(ttl0_, id() * 11 + 1));
+    send((id() + 2) % n_, sim::make_message<HetMsg>(ttl0_, id() * 17 + 2));
+    set_timer(1, 1 + id() % 4);
+  }
+
+  void on_message(ProcessId from, const sim::MessagePtr& msg) override {
+    const auto& m = dynamic_cast<const HetMsg&>(*msg);
+    std::uint64_t h = m.tag;
+    for (int round = 0; round < 32; ++round) h = hash_mix(h, from, id());
+    digest_ ^= h;
+    if (m.ttl > 0) {
+      send((id() + 2) % n_, sim::make_message<HetMsg>(m.ttl - 1, h | 1));
+      if (m.tag % 3 == 0) {
+        send((id() + m.tag) % n_, sim::make_message<HetMsg>(m.ttl - 1, h));
+      }
+    }
+  }
+
+  void on_timer(int timer_id) override {
+    digest_ ^= hash_mix(0x7133, static_cast<std::uint64_t>(timer_id), now());
+    if (timer_id == 1 && ++reps_ < 6) set_timer(1, 3);
+  }
+
+  std::uint64_t digest_ = 0;
+
+ private:
+  std::size_t n_;
+  int ttl0_;
+  int reps_ = 0;
+};
+
+/// Slow base links (min 6) with fast (id -> id+2) lanes (min 1). Under an
+/// even/odd shard split the fast lanes never cross shards, so the per-pair
+/// window floor stays at 6 while the global min collapses to 1.
+sim::NetworkConfig het_net(std::size_t n, std::uint64_t seed,
+                           bool global_min) {
+  sim::NetworkConfig net;
+  net.gst = 0;
+  net.min_delay = 6;
+  net.max_delay = 12;
+  net.seed = seed;
+  net.lookahead_global_min = global_min;
+  for (ProcessId i = 0; i < n; ++i) {
+    net.link_overrides.push_back(
+        {i, static_cast<ProcessId>((i + 2) % n), 1, 3});
+  }
+  return net;
+}
+
+struct HetResult {
+  sim::SimMetrics metrics;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t digest = 0;  // xor over nodes: order-insensitive checksum
+  sim::ShardStats stats;
+};
+
+HetResult run_het(std::size_t n, std::size_t shards,
+                  const sim::NetworkConfig& net, SimTime horizon) {
+  sim::Simulation sim(n, net);
+  std::vector<HetNode*> nodes;
+  nodes.reserve(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    nodes.push_back(&sim.emplace_process<HetNode>(i, n, 8));
+  }
+  sim.set_shards(shards);
+  sim.start();
+  sim.run_for(horizon);
+  HetResult out;
+  out.metrics = sim.metrics();
+  out.fingerprint = sim.notary().fingerprint();
+  for (const auto* node : nodes) out.digest ^= node->digest_;
+  out.stats = sim.shard_stats();
+  return out;
+}
+
+void report_stats(benchmark::State& state, const sim::ShardStats& stats) {
+  state.counters["windows"] = static_cast<double>(stats.windows);
+  state.counters["avg_window_width"] =
+      stats.windows == 0 ? 0.0
+                         : static_cast<double>(stats.window_width_sum) /
+                               static_cast<double>(stats.windows);
+  state.counters["inline_verdicts"] =
+      static_cast<double>(stats.inline_verdicts);
+  state.counters["provisional_sends"] =
+      static_cast<double>(stats.provisional_sends);
+  state.counters["staged_ops"] = static_cast<double>(stats.staged_ops);
+}
+
+void BM_Het(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const bool global_min = state.range(2) != 0;
+  const SimTime horizon = 4'000;
+  const sim::NetworkConfig net = het_net(n, 99, global_min);
+  std::size_t events = 0;
+  sim::ShardStats stats;
+  for (auto _ : state) {
+    const HetResult r = run_het(n, shards, net, horizon);
+    benchmark::DoNotOptimize(r.digest);
+    events += r.metrics.events_processed;
+    stats = r.stats;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  report_stats(state, stats);
+}
+BENCHMARK(BM_Het)
+    ->ArgNames({"n", "shards", "globalmin"})
+    ->Args({256, 2, 0})
+    ->Args({256, 2, 1})
+    ->Args({256, 8, 0})
+    ->Args({256, 8, 1})
+    ->Args({1'024, 8, 0})
+    ->Args({1'024, 8, 1})
+    // Wall-clock rates: with pool threads doing the work, a CPU-time rate
+    // would only meter the coordinating thread and overstate throughput.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WindowRatio(benchmark::State& state) {
+  // The headline A/B, self-checking: per-pair lookahead vs the global-min
+  // floor must agree bit for bit AND run at least 2x fewer windows (2x
+  // wider on average) on the heterogeneous plane.
+  const std::size_t n = 256;
+  const SimTime horizon = 4'000;
+  double window_ratio = 0;
+  double width_ratio = 0;
+  sim::ShardStats wide_stats;
+  for (auto _ : state) {
+    const HetResult wide = run_het(n, 2, het_net(n, 7, false), horizon);
+    const HetResult narrow = run_het(n, 2, het_net(n, 7, true), horizon);
+    if (!(wide.metrics == narrow.metrics) ||
+        wide.fingerprint != narrow.fingerprint ||
+        wide.digest != narrow.digest) {
+      state.SkipWithError("global-min vs per-pair identity violated");
+      return;
+    }
+    if (wide.stats.windows == 0 ||
+        narrow.stats.windows < 2 * wide.stats.windows) {
+      state.SkipWithError("per-pair lookahead did not halve the windows");
+      return;
+    }
+    window_ratio = static_cast<double>(narrow.stats.windows) /
+                   static_cast<double>(wide.stats.windows);
+    width_ratio = (static_cast<double>(wide.stats.window_width_sum) /
+                   static_cast<double>(wide.stats.windows)) /
+                  (static_cast<double>(narrow.stats.window_width_sum) /
+                   static_cast<double>(narrow.stats.windows));
+    wide_stats = wide.stats;
+  }
+  state.counters["window_ratio"] = window_ratio;
+  state.counters["width_ratio"] = width_ratio;
+  report_stats(state, wide_stats);
+}
+BENCHMARK(BM_WindowRatio)->Unit(benchmark::kMillisecond);
+
+void BM_LookaheadIdentity(benchmark::State& state) {
+  // Full feature set — het links, a partition window, pre-GST loss and
+  // duplication (the four-draw plan) — at every shard count. run_for
+  // drains the same event set in all modes, so legacy participates.
+  const std::size_t n = 128;
+  const SimTime horizon = 2'500;
+  sim::NetworkConfig net = het_net(n, 23, false);
+  net.gst = 400;
+  net.pre_gst_max_delay = 60;
+  net.pre_gst_drop = 0.2;
+  net.pre_gst_duplicate = 0.2;
+  sim::PartitionWindow cut;
+  cut.side = NodeSet(n);
+  for (ProcessId i = 0; i < n / 3; ++i) cut.side.add(i);
+  cut.start = 50;
+  cut.heal = 400;
+  net.partitions.push_back(cut);
+  std::size_t checks = 0;
+  for (auto _ : state) {
+    const HetResult base = run_het(n, 1, net, horizon);
+    for (std::size_t shards : {0u, 2u, 3u, 8u}) {
+      const HetResult r = run_het(n, shards, net, horizon);
+      if (!(r.metrics == base.metrics) ||
+          r.fingerprint != base.fingerprint || r.digest != base.digest) {
+        state.SkipWithError("lookahead shard-count identity violated");
+        return;
+      }
+      ++checks;
+    }
+  }
+  state.counters["identity_checks"] = static_cast<double>(checks);
+}
+BENCHMARK(BM_LookaheadIdentity)->Unit(benchmark::kMillisecond);
+
+void BM_DiscoveryPayloadSharing(benchmark::State& state) {
+  // E12 scenario shapes through the shared-payload discovery plane. The
+  // requery shape retransmits DISCOVER/KNOWN on a timer, which is where
+  // payload sharing pays: every retransmission hits the cache.
+  const auto protocol = static_cast<core::ProtocolKind>(state.range(0));
+  const bool with_loss = state.range(1) != 0;
+  double builds = 0;
+  double shared = 0;
+  std::size_t decided = 0;
+  for (auto _ : state) {
+    core::ChurnPartitionParams p;
+    p.protocol = protocol;
+    p.seed = 3;
+    p.with_partition = true;
+    if (with_loss) p.pre_gst_drop = 0.2;
+    core::ScenarioConfig cfg = core::churn_partition_scenario(p);
+    cfg.shards = 2;
+    const core::ScenarioReport r = core::run_scenario(cfg);
+    if (!r.all_decided) {
+      state.SkipWithError("scenario failed to decide");
+      return;
+    }
+    builds = static_cast<double>(
+        r.metrics.protocol_counter(sim::ProtoCounter::kDiscoveryPayloadBuilds));
+    shared = static_cast<double>(
+        r.metrics.protocol_counter(sim::ProtoCounter::kDiscoveryPayloadShared));
+    ++decided;
+  }
+  state.counters["payload_builds"] = builds;
+  state.counters["payload_shared"] = shared;
+  state.counters["sharing_ratio"] =
+      builds + shared == 0 ? 0.0 : shared / (builds + shared);
+  state.counters["decided_runs"] = static_cast<double>(decided);
+}
+BENCHMARK(BM_DiscoveryPayloadSharing)
+    ->ArgNames({"proto", "loss"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scup
+
+SCUP_BENCH_MAIN("E15");

@@ -60,6 +60,45 @@ bool Rng::chance(double p) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t StreamRng::next_u64() {
+  ++position_;
+  return splitmix64(state_);
+}
+
+void StreamRng::discard(std::uint64_t k) {
+  // splitmix64 advances its state by a fixed odd increment per draw; k
+  // draws therefore advance it by k increments, one multiply-add.
+  state_ += 0x9E3779B97F4A7C15ULL * k;
+  position_ += k;
+}
+
+std::uint64_t StreamRng::uniform(std::uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("StreamRng::uniform: bound must be > 0");
+  }
+  return next_u64() % bound;
+}
+
+std::int64_t StreamRng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("StreamRng::uniform_range: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 encodes the full 2^64 range.
+  const std::uint64_t r = next_u64();
+  return lo + static_cast<std::int64_t>(span == 0 ? r : r % span);
+}
+
+double StreamRng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool StreamRng::chance(double p) {
+  // The draw happens unconditionally — see the header contract.
+  const double u = uniform_double();
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return u < p;
+}
+
 std::vector<ProcessId> Rng::sample_ids(std::size_t n, std::size_t k) {
   if (k > n) throw std::invalid_argument("Rng::sample_ids: k > n");
   std::vector<ProcessId> all(n);

@@ -33,15 +33,23 @@ struct DiscoverMsg final : sim::Message {
 /// Reply to DISCOVER (and general gossip): all certificates the sender
 /// holds, merged per owner.
 struct CertGossipMsg final : sim::Message {
-  explicit CertGossipMsg(std::map<ProcessId, NodeSet> c)
-      : certs(std::move(c)) {}
+  explicit CertGossipMsg(std::map<ProcessId, NodeSet> c) : certs(std::move(c)) {
+    // Messages are immutable once constructed, so the wire size is fixed
+    // here. Computing it lazily in byte_size() would walk the whole map
+    // once per destination — the metrics accounting in enqueue_send calls
+    // it on every send, and gossip replies are shared across many sends.
+    byte_size_ = 16;
+    for (const auto& [owner, pd] : certs) {
+      (void)owner;
+      byte_size_ += 8 + pd.count() * 4;
+    }
+  }
   std::map<ProcessId, NodeSet> certs;
   std::string type_name() const override { return "cup.certs"; }
-  std::size_t byte_size() const override {
-    std::size_t total = 16;
-    for (const auto& [owner, pd] : certs) total += 8 + pd.count() * 4;
-    return total;
-  }
+  std::size_t byte_size() const override { return byte_size_; }
+
+ private:
+  std::size_t byte_size_ = 0;
 };
 
 /// Step 2/3 of the SINK algorithm: the sender believes the set of processes

@@ -37,19 +37,21 @@ bool SinkDiscovery::on_timer(int timer_id) {
   // (or its reply) may have been lost pre-GST. Receivers are idempotent:
   // a duplicate DISCOVER merges an already-known certificate and re-sends
   // the (shared, cached) gossip reply.
-  sim::MessagePtr discover;
   for (ProcessId j : queried_) {
     if (j == host_.self() || responded_.contains(j)) continue;
-    if (!discover) discover = sim::make_message<DiscoverMsg>(own_cert());
-    host_.host_send(j, discover);
+    host_.host_send(j, shared_payload(cached_discover_, [this] {
+      return sim::make_message<DiscoverMsg>(own_cert());
+    }));
   }
   // Re-publish the last KNOWN set: a lost KNOWN would otherwise keep a
   // peer's step-3 match one report short forever (publication is normally
   // change-triggered only).
   if (published_once_) {
-    const auto known = sim::make_message<KnownMsg>(last_published_);
     for (ProcessId j : last_published_) {
-      if (j != host_.self()) host_.host_send(j, known);
+      if (j == host_.self()) continue;
+      host_.host_send(j, shared_payload(cached_known_, [this] {
+        return sim::make_message<KnownMsg>(last_published_);
+      }));
     }
   }
   host_.host_set_timer(kDiscoveryRequeryTimerId, config_.requery_interval);
@@ -86,12 +88,13 @@ bool SinkDiscovery::handle(ProcessId from, const sim::Message& msg) {
 
 sim::MessagePtr SinkDiscovery::gossip_reply() {
   // The reply is immutable and identical for every requester until the next
-  // certificate change, so one shared message serves all of them (the
-  // per-DISCOVER map copy used to dominate large-n discovery cost).
-  if (!cached_gossip_) {
-    cached_gossip_ = sim::make_message<CertGossipMsg>(certs_);
-  }
-  return cached_gossip_;
+  // certificate change (merge_certificate resets the cache), so one shared
+  // message serves all of them — one construction *and one byte_size walk*
+  // per certificate state; the per-DISCOVER map copy used to dominate
+  // large-n discovery cost.
+  return shared_payload(cached_gossip_, [this] {
+    return sim::make_message<CertGossipMsg>(certs_);
+  });
 }
 
 void SinkDiscovery::merge_certificate(const PdCertificate& cert) {
@@ -145,14 +148,14 @@ void SinkDiscovery::recheck_admissions() {
 
   // Query everything reachable — their certificates may be needed to
   // certify disjoint paths — even nodes not (yet) admitted. One immutable
-  // query message serves every target (the certificate payload is
-  // identical).
-  sim::MessagePtr discover;
+  // query message serves every target, across every update *and* every
+  // retransmission (own_cert() is frozen at construction).
   for (ProcessId j : reachable) {
     if (j == self || queried_.contains(j)) continue;
     queried_.add(j);
-    if (!discover) discover = sim::make_message<DiscoverMsg>(own_cert());
-    host_.host_send(j, discover);
+    host_.host_send(j, shared_payload(cached_discover_, [this] {
+      return sim::make_message<DiscoverMsg>(own_cert());
+    }));
   }
 
   // Candidate set: self, own PD (trusted oracle output), and every node
@@ -301,9 +304,12 @@ void SinkDiscovery::maybe_publish_known() {
   if (published_once_ && last_published_ == candidate_) return;
   published_once_ = true;
   last_published_ = candidate_;
-  const auto msg = sim::make_message<KnownMsg>(candidate_);
+  cached_known_.reset();  // the payload tracks last_published_
   for (ProcessId j : candidate_) {
-    if (j != host_.self()) host_.host_send(j, msg);
+    if (j == host_.self()) continue;
+    host_.host_send(j, shared_payload(cached_known_, [this] {
+      return sim::make_message<KnownMsg>(last_published_);
+    }));
   }
 }
 

@@ -153,6 +153,23 @@ class SinkDiscovery {
   sim::MessagePtr gossip_reply();
   PdCertificate own_cert() const { return {host_.self(), pd_}; }
 
+  /// Shared-payload access with sharing accounting: returns `cache`,
+  /// building it with `build()` on a miss. Every call counts — a miss into
+  /// kDiscoveryPayloadBuilds, a hit into kDiscoveryPayloadShared — so
+  /// shared / (builds + shared) is the broadcast sharing ratio the E15
+  /// bench reports. Call once per send.
+  template <typename Build>
+  const sim::MessagePtr& shared_payload(sim::MessagePtr& cache,
+                                        Build&& build) {
+    if (!cache) {
+      cache = build();
+      host_.host_counter_add(sim::ProtoCounter::kDiscoveryPayloadBuilds, 1);
+    } else {
+      host_.host_counter_add(sim::ProtoCounter::kDiscoveryPayloadShared, 1);
+    }
+    return cache;
+  }
+
   sim::ProtocolHost& host_;
   NodeSet pd_;
   std::size_t f_;
@@ -188,11 +205,23 @@ class SinkDiscovery {
   /// act like new edges for cut invalidation (their previously-inactive
   /// in-edges just joined the network).
   NodeSet prev_reachable_;
+  // ---- shared broadcast payloads: every discovery broadcast constructs
+  // ---- (and size-accounts) one immutable message per *state change*, not
+  // ---- per destination; sends reuse the cache until the state moves.
+
   /// Gossip replies carry the whole certificate map; the map only changes
   /// when a certificate merge does (which resets this), so one immutable
   /// message per certificate state is shared by every reply instead of
   /// re-copying the map per DISCOVER.
   sim::MessagePtr cached_gossip_;
+  /// DISCOVER carries own_cert(), which is frozen at construction (pd_
+  /// never changes), so one message serves every query and retransmission
+  /// for the lifetime of the instance.
+  sim::MessagePtr cached_discover_;
+  /// KNOWN carries last_published_; rebuilt only when a publication
+  /// changes it, shared across the publish fan-out and every timer
+  /// republish in between.
+  sim::MessagePtr cached_known_;
   DiscoveryStats stats_;
 };
 

@@ -34,6 +34,13 @@ enum class ProtoCounter : std::uint8_t {
   /// host_send calls served by the shim's cached wrapper instead of a
   /// fresh deep copy (the zero-copy broadcast path).
   kSlotWrapsShared,
+  /// Discovery broadcast payloads (DISCOVER / KNOWN / gossip replies)
+  /// actually constructed — one per state change, by the shared-payload
+  /// caches in cup::SinkDiscovery.
+  kDiscoveryPayloadBuilds,
+  /// Discovery sends served by a cached shared payload instead of a fresh
+  /// construction + per-destination size walk.
+  kDiscoveryPayloadShared,
   kCount,
 };
 

@@ -1,9 +1,10 @@
 #include "sim/sharded_engine.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "sim/network_model.hpp"
 #include "sim/simulation.hpp"
 
 namespace scup::sim {
@@ -14,8 +15,82 @@ namespace {
 thread_local ShardContext* tls_shard = nullptr;
 }  // namespace
 
+std::vector<SimTime> shard_window_widths(const NetworkModel& model,
+                                         std::size_t n, std::size_t shards,
+                                         bool global_min) {
+  if (shards == 0) {
+    throw std::invalid_argument("shard_window_widths: shards must be >= 1");
+  }
+  if (global_min) {
+    const SimTime w = model.min_latency();
+    if (w < 1) {
+      throw std::invalid_argument(
+          "sharded execution with lookahead_global_min requires "
+          "NetworkModel::min_latency() >= 1 (the conservative window "
+          "width); this model reports " + std::to_string(w));
+    }
+    return std::vector<SimTime>(shards, w);
+  }
+  std::vector<SimTime> widths(shards, kTimeInfinity);
+  std::vector<std::size_t> size(shards, 0);
+  for (std::size_t p = 0; p < n; ++p) ++size[p % shards];
+  // The matrix is base_min_latency() everywhere except the (at most one
+  // per directed pair) listed overrides, so the per-shard minimum over
+  // cross-shard pairs needs only the overrides plus one counting pass —
+  // the base floor participates for shard s iff s has a cross-shard pair
+  // no override covers.
+  std::vector<std::size_t> overridden_cross(shards, 0);
+  for (const auto& o : model.latency_overrides()) {
+    if (o.from >= n || o.to >= n) continue;  // not a live pair
+    const std::size_t s = o.from % shards;
+    if (s == o.to % shards) continue;  // intra-shard: never constrains W
+    if (o.min_delay < 1) {
+      throw std::invalid_argument(
+          "sharded execution is illegal for this topology: the link " +
+          std::to_string(o.from) + " -> " + std::to_string(o.to) +
+          " has latency floor " + std::to_string(o.min_delay) +
+          " and crosses the shard partition (shard " + std::to_string(s) +
+          " -> shard " + std::to_string(o.to % shards) +
+          " of " + std::to_string(shards) +
+          "); every cross-shard link needs min_latency >= 1 (intra-shard "
+          "links may be arbitrarily fast, and shards == 1 accepts any "
+          "model)");
+    }
+    ++overridden_cross[s];
+    widths[s] = std::min(widths[s], o.min_delay);
+  }
+  const SimTime base = model.base_min_latency();
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t cross_pairs = size[s] * (n - size[s]);
+    if (overridden_cross[s] >= cross_pairs) continue;  // all pairs overridden
+    if (cross_pairs == 0) continue;  // no cross-shard pairs (shards == 1)
+    if (base < 1) {
+      throw std::invalid_argument(
+          "sharded execution is illegal for this topology: the model's "
+          "base latency floor (base_min_latency) is " +
+          std::to_string(base) +
+          " and shard " + std::to_string(s) + " of " +
+          std::to_string(shards) +
+          " has non-overridden cross-shard links; every cross-shard link "
+          "needs min_latency >= 1 (intra-shard links may be arbitrarily "
+          "fast, and shards == 1 accepts any model)");
+    }
+    widths[s] = std::min(widths[s], base);
+  }
+  return widths;
+}
+
 ShardEngine::ShardEngine(Simulation& sim, std::size_t shards)
-    : sim_(sim), pool_(shards - 1), width_(sim.model_->min_latency()) {
+    : sim_(sim),
+      pool_(shards - 1),
+      w_out_(shard_window_widths(*sim.model_, sim.n_, shards,
+                                 sim.config_.lookahead_global_min)) {
+  // Auto quantum: the base latency floor, not the global min_latency() —
+  // the latter is dragged down by the fastest (possibly intra-shard) link,
+  // which is exactly the pessimization the per-pair lookahead removes.
+  quantum_ = sim.config_.lookahead_quantum > 0
+                 ? sim.config_.lookahead_quantum
+                 : std::max<SimTime>(1, sim.model_->base_min_latency());
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     auto ctx = std::make_unique<ShardContext>();
@@ -41,19 +116,35 @@ void ShardEngine::push_external(Event e) {
   shards_[e.target % shards_.size()]->queue.push(std::move(e));
 }
 
-bool ShardEngine::run_window(SimTime deadline) {
-  SimTime t_min = std::numeric_limits<SimTime>::max();
-  bool any = false;
+SimTime ShardEngine::next_event_time() const {
+  SimTime t_min = kTimeInfinity;
   for (const auto& shard : shards_) {
     if (shard->queue.empty()) continue;
     t_min = std::min(t_min, shard->queue.next_time());
-    any = true;
   }
-  if (!any || t_min > deadline) return false;
-  // [t_min, t_min + W), clamped so nothing past the deadline runs. The
-  // schedule depends only on the global event horizon — never on the shard
-  // partition — so every shard count sees the same barrier points.
-  window_end_ = (deadline - t_min >= width_) ? t_min + width_ : deadline + 1;
+  return t_min;
+}
+
+bool ShardEngine::run_window(SimTime deadline, SimTime cap) {
+  deadline = std::min(deadline, kTimeInfinity - 1);
+  const SimTime t_min = next_event_time();
+  if (t_min > deadline || t_min >= cap) return false;
+  // Window end: no shard can produce a cross-shard effect before its own
+  // next event plus its lookahead, so everything in
+  // [t_min, min_s(next_s + W_out(s))) is safe to drain in parallel.
+  // Clamped to the caller's cap (run_until's checkpoint grid) and the
+  // deadline. A shard with unbounded lookahead (no cross-shard pairs)
+  // never constrains the end; with shards == 1 that leaves only the
+  // clamps, i.e. the whole horizon is one window.
+  SimTime end = kTimeInfinity;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->queue.empty()) continue;
+    if (w_out_[s] >= kTimeInfinity) continue;
+    end = std::min(end, shards_[s]->queue.next_time() + w_out_[s]);
+  }
+  end = std::min(end, std::min(cap, deadline + 1));
+  window_end_ = end;
+  width_sum_ += static_cast<std::uint64_t>(end - t_min);
   for (auto& shard : shards_) shard->processed_any = false;
   pool_.run([this](std::size_t i) { drain(i); });
   ++windows_;
@@ -159,7 +250,11 @@ void ShardEngine::commit_staged() {
   // ---- outboxes: k-way merge by pedigree key. Each shard's outbox is
   // already key-sorted (staging order within a shard is dispatch order),
   // so picking the minimum head reproduces the serial effect order — and
-  // with it the serial network-RNG draw sequence and seq numbering.
+  // with it the serial seq numbering. Verdicts (delivery times, drops,
+  // duplicates) were drawn at send time on the shard threads; the barrier
+  // only assigns dense seqs and routes. Note the dense seq *values* can
+  // differ from a legacy run's (provisional effects never consume
+  // next_seq_); only their relative order is observable, and that matches.
   for (;;) {
     std::size_t best = S;
     for (std::size_t s = 0; s < S; ++s) {
@@ -178,40 +273,8 @@ void ShardEngine::commit_staged() {
     if (best == S) break;
     StagedOp& op = shards_[best]->outbox[pos[best]++];
     Event& e = op.event;
-    if (!op.is_send) {
-      e.seq = sim_.next_seq_++;
-      shards_[e.target % S]->queue.push(std::move(e));
-      continue;
-    }
-    const ProcessId to = e.target;
-    const ProcessId from = e.from;
-    const NetworkModel::Verdict verdict =
-        sim_.model_->on_send(from, to, op.send_time, sim_.net_rng_);
-    if (verdict.dropped) {
-      sim_.metrics_.messages_dropped += 1;
-      continue;
-    }
-    if (verdict.deliver_at < window_end_ ||
-        (verdict.duplicated && verdict.duplicate_at < window_end_)) {
-      throw std::logic_error(
-          "NetworkModel delivered inside the conservative window; "
-          "min_latency() must lower-bound every verdict");
-    }
-    MessagePtr dup_msg = verdict.duplicated ? e.msg : nullptr;
-    e.time = verdict.deliver_at;
     e.seq = sim_.next_seq_++;
-    shards_[to % S]->queue.push(std::move(e));
-    if (verdict.duplicated) {
-      sim_.metrics_.messages_duplicated += 1;
-      Event dup;
-      dup.time = verdict.duplicate_at;
-      dup.seq = sim_.next_seq_++;
-      dup.kind = EventKind::kDeliver;
-      dup.target = to;
-      dup.from = from;
-      dup.msg = std::move(dup_msg);
-      shards_[to % S]->queue.push(std::move(dup));
-    }
+    shards_[e.target % S]->queue.push(std::move(e));
   }
 
   // ---- signs: same merge, replayed into the Notary log so the combined
@@ -257,6 +320,7 @@ ShardStats ShardEngine::stats() const {
   ShardStats total;
   total.shards = shards_.size();
   total.windows = windows_;
+  total.window_width_sum = width_sum_;
   for (const auto& shard : shards_) {
     total.staged_ops += shard->stats.staged_ops;
     total.arena_reused += shard->stats.arena_reused;
@@ -264,6 +328,8 @@ ShardStats ShardEngine::stats() const {
     total.batch_upcalls += shard->stats.batch_upcalls;
     total.batched_messages += shard->stats.batched_messages;
     total.provisional_events += shard->stats.provisional_events;
+    total.inline_verdicts += shard->stats.inline_verdicts;
+    total.provisional_sends += shard->stats.provisional_sends;
   }
   return total;
 }

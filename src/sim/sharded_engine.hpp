@@ -3,14 +3,20 @@
 // The simulator's event plane is sharded by process id: shard s owns every
 // process p with p % shards == s, that process's calendar queue entries,
 // mailbox, timers and RNG. Shards drain their own queues concurrently
-// inside a conservative window [T, T + W) where T is the global minimum
-// next-event time and W = NetworkModel::min_latency(). Because no message
-// can be delivered earlier than min_latency ticks after it is sent, nothing
-// a shard does inside the window can schedule work for another shard inside
-// the same window — cross-shard effects (sends) always land at or beyond
-// the window end, so they are staged in per-shard outboxes and exchanged at
-// a global barrier. DESIGN.md §4.6 gives the full order-preservation
-// argument.
+// inside a conservative window [T, end) where
+//   end = min over nonempty shards s of (next_event(s) + W_out(s))
+// and W_out(s) — the shard's *lookahead* — is the minimum
+// NetworkModel::min_latency(from, to) over cross-shard pairs with `from`
+// in s (DESIGN.md §4.7). Intra-shard latency never constrains the window:
+// a same-shard delivery landing inside it runs provisionally on the owning
+// shard. Because a shard's earliest possible cross-shard send happens no
+// earlier than its next event, nothing a shard does inside the window can
+// schedule work for another shard inside the same window — cross-shard
+// effects always land at or beyond the window end, so they are staged in
+// per-shard outboxes and exchanged at a global barrier. A shard with no
+// cross-shard pairs (notably shards == 1) has unbounded lookahead and the
+// window extends to the caller's cap. DESIGN.md §4.6 gives the base
+// order-preservation argument, §4.7 the lookahead refinement.
 //
 // Determinism contract: a sharded run is bit-identical (Notary sign log,
 // SimMetrics, ledger contents) to the shards == 1 run of the same scenario,
@@ -28,20 +34,28 @@
 //     (key_arena) that is bump-allocated during the window and freed
 //     wholesale at the barrier.
 //
-//  2. Deferred network verdicts. NetworkModel::on_send consumes the single
-//     global network RNG, so shards never call it. Sends are staged with
-//     their send time; the barrier replays them against the model in merged
-//     key order, reproducing the serial draw sequence (and the serial
-//     drop/duplicate bookkeeping) exactly. Final sequence numbers are dense
-//     and assigned in the same merged order.
+//  2. Send-time network verdicts under the draw-plan contract. Every
+//     sender owns a private StreamRng substream, and NetworkModel::on_send
+//     consumes exactly draws_per_send(now) draws from it per send
+//     (enforced), so a sender's stream position is a pure function of its
+//     own send history — which is identical in every execution mode,
+//     because all of a sender's events live on one shard and are drained
+//     in (time, seq) order. Shards therefore evaluate verdicts in
+//     parallel, inside the window, the moment a send happens; the barrier
+//     merge only assigns dense sequence numbers in pedigree order and
+//     routes the already-timed events. (The pre-lookahead engine deferred
+//     every verdict to the barrier and replayed them single-threaded
+//     through one global stream.)
 //
-//  3. Provisional events. The only effect that can land inside the current
-//     window is a process's own timer with delay < W. Those are pushed
-//     straight into the owning shard's queue with a temporary sequence
-//     number >= kTempSeqBase — past every final seq at the same tick, which
-//     is exactly where a serial run's (larger, window-assigned) seq would
-//     have sorted them — and their pedigree key is remembered so effects
-//     they produce stay globally ordered.
+//  3. Provisional events. Effects that land inside the current window — a
+//     process's own timer with a short delay, or an intra-shard delivery
+//     faster than the window — are pushed straight into the owning shard's
+//     queue with a temporary sequence number >= kTempSeqBase — past every
+//     final seq at the same tick, which is exactly where a serial run's
+//     (larger, window-assigned) seq would have sorted them — and their
+//     pedigree key is remembered so effects they produce stay globally
+//     ordered. A *cross-shard* verdict inside the window is a model
+//     contract violation (min_latency(from, to) lied) and throws.
 //
 // The window loop also batches deliveries: consecutive queue entries with
 // the same (tick, target) become one Process::on_messages upcall, with
@@ -64,6 +78,7 @@
 namespace scup::sim {
 
 class Simulation;
+class NetworkModel;
 
 /// Sharded-engine instrumentation, kept outside SimMetrics on purpose: the
 /// shard-invariance suites compare SimMetrics bit-for-bit across shard
@@ -83,8 +98,19 @@ struct ShardStats {
   /// Batched-delivery upcalls and the messages they carried.
   std::size_t batch_upcalls = 0;
   std::size_t batched_messages = 0;
-  /// Same-window self timers executed with temporary sequence numbers.
+  /// Same-window provisional events executed with temporary sequence
+  /// numbers (short self timers and intra-shard fast-link deliveries).
   std::size_t provisional_events = 0;
+  /// Network verdicts evaluated inside the parallel window (i.e. on shard
+  /// threads, off the barrier). In a sharded run every send is an inline
+  /// verdict — the barrier does no RNG work at all.
+  std::size_t inline_verdicts = 0;
+  /// Sends whose verdict landed inside the current window and were run
+  /// provisionally on the sending shard instead of being staged.
+  std::size_t provisional_sends = 0;
+  /// Sum over windows of (window_end - window_start); divide by `windows`
+  /// for the average width the lookahead achieved.
+  std::uint64_t window_width_sum = 0;
 };
 
 /// Provisional (same-window) events carry temporary sequence numbers from
@@ -94,15 +120,14 @@ struct ShardStats {
 /// the window started.
 inline constexpr std::uint64_t kTempSeqBase = std::uint64_t{1} << 63;
 
-/// One staged effect: a send awaiting its network verdict, or a timer
-/// landing at or beyond the window end. `key_off/key_len` index the owning
-/// shard's key_arena.
+/// One staged effect landing at or beyond the window end: a delivery with
+/// its verdict (and hence its final time) already drawn at send time, or a
+/// cross-window timer. The barrier only assigns the dense seq, in merged
+/// key order. `key_off/key_len` index the owning shard's key_arena.
 struct StagedOp {
   std::uint32_t key_off = 0;
   std::uint32_t key_len = 0;
-  bool is_send = false;
-  SimTime send_time = 0;  // the `now` on_send would have seen (sends only)
-  Event event;            // sends: time/seq filled at the barrier
+  Event event;  // time final; seq filled at the barrier
 };
 
 /// One staged Notary log entry (the token was computed in-window;
@@ -160,7 +185,7 @@ struct ShardContext {
   }
 
   /// Stages one outbox effect, counting arena reuse vs. growth.
-  void stage(Event e, bool is_send, SimTime send_time) {
+  void stage(Event e) {
     if (outbox.size() < outbox.capacity()) {
       ++stats.arena_reused;
     } else {
@@ -170,8 +195,6 @@ struct ShardContext {
     StagedOp op;
     op.key_off = off;
     op.key_len = len;
-    op.is_send = is_send;
-    op.send_time = send_time;
     op.event = std::move(e);
     outbox.push_back(std::move(op));
     ++stats.staged_ops;
@@ -196,10 +219,21 @@ class ShardEngine {
   void seed_from(CalendarQueue& queue);
 
   /// Runs one conservative window: picks T = min next-event time across
-  /// shards, drains [T, min(T + W, deadline + 1)) in parallel, then commits
-  /// staged effects at the barrier. Returns false (without running
-  /// anything) when no shard has an event at time <= deadline.
-  bool run_window(SimTime deadline);
+  /// shards, drains [T, end) in parallel with
+  ///   end = min(min over nonempty shards s of (next_event(s) + W_out(s)),
+  ///             deadline + 1, cap)
+  /// then commits staged effects at the barrier. Returns false (without
+  /// running anything) when no shard has an event at time <= deadline, or
+  /// when the earliest event is at or past `cap` (run_until's
+  /// predicate-checkpoint grid passes the next grid point as the cap).
+  bool run_window(SimTime deadline, SimTime cap = kTimeInfinity);
+
+  /// Earliest pending event time across shards, kTimeInfinity when idle.
+  SimTime next_event_time() const;
+
+  /// The run_until checkpoint-grid spacing (resolved from
+  /// NetworkConfig::lookahead_quantum at construction; >= 1).
+  SimTime quantum() const { return quantum_; }
 
   /// Routes an externally pushed event (crash_at between runs) to its
   /// owning shard. The caller has already assigned the final seq.
@@ -219,9 +253,10 @@ class ShardEngine {
   void drain(std::size_t shard_index);
   /// Installs D(event) as the context's current pedigree key.
   void set_dispatch_key(ShardContext& ctx, const Event& e);
-  /// Barrier half: merges outboxes in key order (drawing network verdicts
-  /// and assigning dense seqs), replays staged signs into the Notary,
-  /// merges metrics deltas, advances Simulation::now_, frees arenas.
+  /// Barrier half: merges outboxes in key order (assigning dense seqs —
+  /// verdicts were already drawn at send time), replays staged signs into
+  /// the Notary, merges metrics deltas, advances Simulation::now_, frees
+  /// arenas.
   void commit_staged();
   bool key_less(const ShardContext& a, std::uint32_t a_off,
                 std::uint32_t a_len, const ShardContext& b,
@@ -230,9 +265,25 @@ class ShardEngine {
   Simulation& sim_;
   std::vector<std::unique_ptr<ShardContext>> shards_;
   ShardPool pool_;
-  SimTime width_;  // W = model min latency; >= 1, enforced by set_shards
+  /// Per-shard lookahead W_out(s): min cross-shard min_latency(from, to)
+  /// over pairs with `from` in shard s; kTimeInfinity when s has no
+  /// cross-shard pairs. Every finite entry >= 1, enforced at construction.
+  std::vector<SimTime> w_out_;
+  SimTime quantum_ = 1;
   SimTime window_end_ = 0;
   std::size_t windows_ = 0;
+  std::uint64_t width_sum_ = 0;
 };
+
+/// The per-shard lookahead vector for `shards` shards over `n` processes
+/// under the p % shards ownership map (see the class comment). With
+/// `global_min` every entry is the model's global min_latency() —
+/// the pre-lookahead window schedule. Throws std::invalid_argument, naming
+/// the offending link, when any cross-shard pair has a latency floor below
+/// one tick (shards == 1 has no cross-shard pairs, so a zero-latency model
+/// is legal there).
+std::vector<SimTime> shard_window_widths(const NetworkModel& model,
+                                         std::size_t n, std::size_t shards,
+                                         bool global_min);
 
 }  // namespace scup::sim

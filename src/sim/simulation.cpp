@@ -34,6 +34,8 @@ const char* proto_counter_name(ProtoCounter c) {
     case ProtoCounter::kSupportRebuilds: return "scp.support_rebuilds";
     case ProtoCounter::kSlotWraps: return "scp.slot_wraps";
     case ProtoCounter::kSlotWrapsShared: return "scp.slot_wraps_shared";
+    case ProtoCounter::kDiscoveryPayloadBuilds: return "cup.payload_builds";
+    case ProtoCounter::kDiscoveryPayloadShared: return "cup.payload_shared";
     case ProtoCounter::kCount: break;
   }
   return "scp.unknown";
@@ -57,7 +59,6 @@ Simulation::Simulation(std::size_t n, NetworkConfig config,
     : n_(n),
       config_(config),
       model_(std::move(model)),
-      net_rng_(config.seed),
       notary_(n, config.seed),
       processes_(n),
       isolated_(n, 0),
@@ -70,6 +71,14 @@ Simulation::Simulation(std::size_t n, NetworkConfig config,
   process_rngs_.reserve(n);
   Rng seeder(config.seed ^ 0x5eedULL);
   for (std::size_t i = 0; i < n; ++i) process_rngs_.push_back(seeder.split());
+  // drawplan begin(stream construction: one substream per sender, seeded
+  // independently of every other stream so send interleavings across
+  // senders cannot perturb any sender's draw sequence)
+  net_streams_.reserve(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    net_streams_.emplace_back(net_stream_seed(config.seed, i));
+  }
+  // drawplan end
 }
 
 Simulation::~Simulation() = default;
@@ -105,11 +114,11 @@ void Simulation::activate(ProcessId id, SimTime t) {
 
 void Simulation::set_shards(std::size_t shards) {
   if (started_) throw std::logic_error("set_shards after start");
-  if (shards > 0 && model_->min_latency() < 1) {
-    throw std::invalid_argument(
-        "set_shards: sharded execution requires "
-        "NetworkModel::min_latency() >= 1 (the conservative window width); "
-        "this model reports 0");
+  if (shards > 0) {
+    // Validates the lookahead up front (and with it the model): throws,
+    // naming the offending link, when any cross-shard pair under the
+    // p % shards partition has a latency floor below one tick.
+    shard_window_widths(*model_, n_, shards, config_.lookahead_global_min);
   }
   shards_requested_ = shards;
 }
@@ -162,8 +171,9 @@ void Simulation::start() {
 
 void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   if (to >= n_) throw std::out_of_range("send: bad destination");
+  if (from >= n_) throw std::out_of_range("send: bad sender");
   if (!msg) throw std::invalid_argument("send: null message");
-  if (from < n_ && crashed_[from]) return;  // a crashed process sends nothing
+  if (crashed_[from]) return;  // a crashed process sends nothing
   ShardContext* ctx = engine_ ? ShardEngine::current() : nullptr;
   SimMetrics& m = ctx ? ctx->metrics : metrics_;
   m.messages_sent += 1;
@@ -177,52 +187,83 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   m.messages_by_type_id[type] += 1;
   m.bytes_by_type_id[type] += bytes;
 
-  if (ctx) {
-    // In-window: the network verdict (a draw on the global RNG) is
-    // deferred to the barrier, where staged sends replay against the model
-    // in pedigree order — the exact serial draw sequence.
-    Event e;
-    e.kind = EventKind::kDeliver;
-    e.target = to;
-    e.from = from;
-    e.msg = std::move(msg);
-    ctx->stage(std::move(e), /*is_send=*/true, ctx->now);
-    return;
-  }
-
+  // The verdict is drawn at send time in every execution mode, from the
+  // sender's private substream. Inside a window this runs on the sending
+  // shard's thread with no synchronization: sender `from`'s events all
+  // live on shard from % S and are drained in (time, seq) order, so its
+  // send sequence — and with it the substream position — is identical in
+  // the legacy loop and under every shard count.
+  const SimTime send_time = ctx ? ctx->now : now_;
+  // drawplan begin(the audited verdict site: the draw-plan check below is
+  // what licenses every other access)
+  StreamRng& stream = net_streams_[from];
+  const std::uint64_t pos_before = stream.position();
   const NetworkModel::Verdict verdict =
-      model_->on_send(from, to, now_, net_rng_);
+      model_->on_send(from, to, send_time, stream);
+  const std::uint64_t consumed = stream.position() - pos_before;
+  // drawplan end
+  if (consumed != model_->draws_per_send(send_time)) {
+    throw std::logic_error(
+        "NetworkModel broke the draw-plan contract: on_send consumed " +
+        std::to_string(consumed) + " draw(s) where draws_per_send(now) "
+        "promises " + std::to_string(model_->draws_per_send(send_time)));
+  }
+  if (ctx) ctx->stats.inline_verdicts += 1;
   if (verdict.dropped) {
-    metrics_.messages_dropped += 1;
+    m.messages_dropped += 1;
     return;
   }
-  if (verdict.deliver_at < now_ ||
-      (verdict.duplicated && verdict.duplicate_at < now_)) {
+  if (verdict.deliver_at < send_time ||
+      (verdict.duplicated && verdict.duplicate_at < send_time)) {
     throw std::logic_error("NetworkModel: delivery scheduled in the past");
   }
-  // The original is pushed before the duplicate and holds the smaller seq,
-  // preserving the queue's seq-sorted-bucket invariant when both copies
-  // sample the same delay.
+  // The original is routed before the duplicate and holds the smaller seq
+  // (dense or temporary), preserving the queue's seq-sorted-bucket
+  // invariant when both copies sample the same delay.
   MessagePtr dup_msg = verdict.duplicated ? msg : nullptr;
+  route_delivery(ctx, from, to, verdict.deliver_at, std::move(msg));
+  if (verdict.duplicated) {
+    m.messages_duplicated += 1;
+    // Both copies share the immutable message.
+    route_delivery(ctx, from, to, verdict.duplicate_at, std::move(dup_msg));
+  }
+}
+
+void Simulation::route_delivery(ShardContext* ctx, ProcessId from,
+                                ProcessId to, SimTime at, MessagePtr msg) {
   Event e;
-  e.time = verdict.deliver_at;
-  e.seq = next_seq_++;
+  e.time = at;
   e.kind = EventKind::kDeliver;
   e.target = to;
   e.from = from;
   e.msg = std::move(msg);
-  queue_.push(std::move(e));
-  if (verdict.duplicated) {
-    metrics_.messages_duplicated += 1;
-    Event dup;
-    dup.time = verdict.duplicate_at;
-    dup.seq = next_seq_++;
-    dup.kind = EventKind::kDeliver;
-    dup.target = to;
-    dup.from = from;
-    dup.msg = std::move(dup_msg);  // both copies share the immutable message
-    queue_.push(std::move(dup));
+  if (ctx == nullptr) {
+    e.seq = next_seq_++;
+    queue_.push(std::move(e));
+    return;
   }
+  if (at < engine_->window_end()) {
+    if (to % engine_->shards() != ctx->index) {
+      // Unreachable for honest models: a cross-shard verdict satisfies
+      // deliver_at >= send_time + min_latency(from, to) >= window_end by
+      // the window construction. Landing here means min_latency lied.
+      throw std::logic_error(
+          "NetworkModel delivered a cross-shard message inside the "
+          "conservative window; min_latency(from, to) must lower-bound "
+          "every verdict");
+    }
+    // Intra-shard and inside the window: run it provisionally on this
+    // shard under a temporary seq that sorts exactly where the serial
+    // run's window-assigned seq would (see sharded_engine.hpp header).
+    e.seq = kTempSeqBase + ctx->next_temp_seq++;
+    ctx->provisional_keys.emplace(e.seq, ctx->make_qkey());
+    ctx->stats.provisional_sends += 1;
+    ctx->queue.push(std::move(e));
+    return;
+  }
+  // At or past the window end: stage for the barrier, which assigns the
+  // dense seq in merged pedigree order and routes to the owning shard.
+  ctx->stage(std::move(e));
 }
 
 std::uint64_t& Simulation::timer_generation(ProcessId target, int timer_id) {
@@ -262,7 +303,7 @@ void Simulation::enqueue_timer(ProcessId target, int timer_id, SimTime delay) {
       ctx->provisional_keys.emplace(e.seq, ctx->make_qkey());
       ctx->queue.push(std::move(e));
     } else {
-      ctx->stage(std::move(e), /*is_send=*/false, 0);
+      ctx->stage(std::move(e));
     }
     return;
   }
@@ -295,12 +336,27 @@ void Simulation::note_delivery(const Delivery& d) {
   if (engine_ == nullptr) return;
   ShardContext* ctx = ShardEngine::current();
   if (ctx == nullptr) return;
-  // D(delivery i of the batch) = [tick, 0, seq]; the cookie carries the
-  // delivery event's seq through the batched upcall.
+  // The cookie carries the delivery event's seq through the batched
+  // upcall; D(delivery i of the batch) = [tick, 0, seq], except that a
+  // provisional (same-window intra-shard) delivery has only a temporary
+  // per-shard seq — not globally comparable — so its pedigree is its
+  // scheduling key, D = [tick, 1] ++ Q, exactly like a provisional timer.
   ctx->current_key.clear();
   ctx->current_key.push_back(static_cast<std::uint64_t>(ctx->now));
-  ctx->current_key.push_back(0);
-  ctx->current_key.push_back(d.cookie);
+  if (d.cookie >= kTempSeqBase) {
+    ctx->current_key.push_back(1);
+    const auto it = ctx->provisional_keys.find(d.cookie);
+    const auto [off, len] = it->second;
+    // Copy out of the arena now — later staging may reallocate it.
+    ctx->current_key.insert(ctx->current_key.end(),
+                            ctx->key_arena.begin() + off,
+                            ctx->key_arena.begin() + off + len);
+    ctx->provisional_keys.erase(it);
+    ctx->stats.provisional_events += 1;
+  } else {
+    ctx->current_key.push_back(0);
+    ctx->current_key.push_back(d.cookie);
+  }
   ctx->intra = 0;
 }
 

@@ -22,6 +22,7 @@
 // baseline, run on the calling thread with no pool threads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -79,10 +80,14 @@ class Simulation {
 
   /// Switches this simulation to the windowed sharded engine with `shards`
   /// shards (0 = legacy serial loop, the default). Must be called before
-  /// start(). Requires the network model to promise a minimum delivery
-  /// latency of at least one tick (NetworkModel::min_latency()) — that
-  /// latency is the conservative window width. Results are bit-identical
-  /// (Notary log, metrics, protocol state) for every shards >= 1 value.
+  /// start(). Requires every *cross-shard* pair under the p % shards
+  /// partition to promise a latency floor of at least one tick
+  /// (NetworkModel::min_latency(from, to)) — those floors are the
+  /// conservative lookahead; intra-shard links may be arbitrarily fast,
+  /// and shards == 1 (no cross-shard pairs) accepts any model. Throws
+  /// std::invalid_argument naming the offending link otherwise. Results
+  /// are bit-identical (Notary log, metrics, protocol state) for every
+  /// shards >= 1 value.
   void set_shards(std::size_t shards);
   /// The shard count this simulation runs with (0 = legacy serial loop).
   std::size_t shards() const {
@@ -113,19 +118,32 @@ class Simulation {
   /// held. The predicate is checked after every `stride`-th event (default:
   /// every event); a larger stride trades up to stride-1 extra processed
   /// events for not paying an expensive predicate per event. Sharded runs
-  /// check the predicate at window barriers instead (the only points where
-  /// global state is consistent), so the stop point — and with it the final
-  /// metrics — is identical for every shards >= 1 count, though not
-  /// necessarily to the legacy loop's per-event stop point.
+  /// check the predicate on a fixed checkpoint grid instead: windows are
+  /// clamped to multiples of the lookahead quantum
+  /// (NetworkConfig::lookahead_quantum) and the predicate runs at grid
+  /// points, where every shard count has processed the identical event
+  /// set — so the stop point, and with it the final metrics, is identical
+  /// for every shards >= 1 count, though not necessarily to the legacy
+  /// loop's per-event stop point.
   template <typename Pred>
   bool run_until(Pred&& predicate, SimTime deadline, std::size_t stride = 1) {
     if (!started_) throw std::logic_error("run_until before start");
     if (predicate()) return true;
     if (engine_) {
-      while (engine_->run_window(deadline)) {
+      deadline = std::min(deadline, kTimeInfinity - 1);
+      const SimTime q = engine_->quantum();
+      for (;;) {
+        const SimTime t = engine_->next_event_time();
+        if (t > deadline) return predicate();
+        // The next grid point strictly past t; events inside [t, check)
+        // run before the predicate does. Grid advancement depends only on
+        // the global event horizon, never on the shard partition.
+        const SimTime check = (t / q + 1) * q;
+        const SimTime cap = std::min(check, deadline + 1);
+        while (engine_->run_window(deadline, cap)) {
+        }
         if (predicate()) return true;
       }
-      return predicate();
     }
     if (stride == 0) stride = 1;
     std::size_t since_check = 0;
@@ -153,6 +171,13 @@ class Simulation {
   /// still counted but dropped at delivery. See crash() for a full stop.
   void isolate(ProcessId id);
 
+  /// Seed of process `sender`'s private network-RNG substream under run
+  /// seed `seed`. Exposed so the draw-plan differential test can replay a
+  /// sender's verdict stream from scratch with StreamRng::discard.
+  static std::uint64_t net_stream_seed(std::uint64_t seed, ProcessId sender) {
+    return hash_mix(seed, 0x6e657473ULL /* "nets" */, sender);
+  }
+
   /// Crash-stops `id` now: no sends, no deliveries, no timer fires from
   /// this point on. Crashed processes count against the fault threshold
   /// like any other failure.
@@ -167,6 +192,11 @@ class Simulation {
   friend class ShardEngine;
 
   void enqueue_send(ProcessId from, ProcessId to, MessagePtr msg);
+  /// Routes one delivery copy whose verdict is already drawn: serial mode
+  /// pushes to the global queue; in-window it becomes a provisional
+  /// intra-shard event (deliver inside the window) or a staged op.
+  void route_delivery(ShardContext* ctx, ProcessId from, ProcessId to,
+                      SimTime at, MessagePtr msg);
   void enqueue_timer(ProcessId target, int timer_id, SimTime delay);
   void cancel_timer(ProcessId target, int timer_id);
   std::uint64_t& timer_generation(ProcessId target, int timer_id);
@@ -195,7 +225,11 @@ class Simulation {
   std::unique_ptr<NetworkModel> model_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  Rng net_rng_;
+  // drawplan begin(owner declaration: one private StreamRng substream per
+  // sender, seeded from net_stream_seed; all draws go through the audited
+  // verdict site in enqueue_send)
+  std::vector<StreamRng> net_streams_;
+  // drawplan end
   Notary notary_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> process_rngs_;

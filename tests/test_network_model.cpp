@@ -180,8 +180,8 @@ TEST(NetworkModelTest, ConfigValidation) {
 /// Custom model: fixed 7-tick delay on every link — pins the NetworkModel
 /// seam itself, not just UniformModel.
 struct FixedDelayModel final : NetworkModel {
-  Verdict on_send(ProcessId, ProcessId, SimTime now, Rng&) override {
-    return {.deliver_at = now + 7};
+  Verdict on_send(ProcessId, ProcessId, SimTime now, StreamRng&) override {
+    return {.deliver_at = now + 7};  // no draws: draws_per_send() == 0
   }
 };
 

@@ -1,0 +1,9 @@
+// Fixture: det-drawplan-escape must fire on any touch of the per-sender
+// network verdict streams in src/sim/ outside a drawplan region — a stray
+// draw desyncs the sender's stream position from its draw-plan prefix sum.
+
+void escape_draw(Sim& sim_) {
+  sim_.net_streams_[0].next_u64();
+  auto& streams = sim_.net_streams_;
+  streams[1].discard(2);
+}

@@ -1,0 +1,10 @@
+// Fixture: the same stream touches are sanctioned inside a marked drawplan
+// region, where the position accounting brackets every on_send draw.
+
+void verdict(Sim& sim_) {
+  // drawplan begin(the audited verdict site: position delta is checked
+  // against draws_per_send after every on_send)
+  StreamRng& stream = sim_.net_streams_[0];
+  stream.next_u64();
+  // drawplan end
+}

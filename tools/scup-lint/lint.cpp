@@ -378,15 +378,16 @@ void rule_raw_thread(const std::string& rel_path, ParsedFile& file,
 /// `// shard-barrier end` — the regions where shard-engine code may touch
 /// engine-global state (every shard thread is parked at the barrier). An
 /// unterminated begin extends to end of file.
-std::vector<std::pair<std::size_t, std::size_t>> barrier_regions(
-    const std::vector<ScannedLine>& lines) {
+std::vector<std::pair<std::size_t, std::size_t>> marker_regions(
+    const std::vector<ScannedLine>& lines, std::string_view begin_marker,
+    std::string_view end_marker) {
   std::vector<std::pair<std::size_t, std::size_t>> out;
   std::size_t open = 0;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& comment = lines[i].comment;
-    if (comment.find("shard-barrier begin") != std::string::npos) {
+    if (comment.find(begin_marker) != std::string::npos) {
       if (open == 0) open = i + 1;
-    } else if (comment.find("shard-barrier end") != std::string::npos) {
+    } else if (comment.find(end_marker) != std::string::npos) {
       if (open != 0) {
         out.emplace_back(open, i + 1);
         open = 0;
@@ -440,10 +441,11 @@ void rule_shard_escape(const std::string& rel_path, ParsedFile& file,
   // touched between barrier markers. Any mention counts: shard-side code
   // has no business even reading these while windows are in flight.
   if (scope.is_shard_file) {
-    const auto regions = barrier_regions(file.lines);
+    const auto regions =
+        marker_regions(file.lines, "shard-barrier begin", "shard-barrier end");
     static constexpr std::string_view kGlobals[] = {
-        "next_seq_", "net_rng_", "notary_", "metrics_",
-        "now_",      "queue_",   "started_",
+        "next_seq_", "net_streams_", "notary_", "metrics_",
+        "now_",      "queue_",       "started_",
     };
     for (std::size_t i = 0; i < file.lines.size(); ++i) {
       const std::string& code = file.lines[i].code;
@@ -460,6 +462,33 @@ void rule_shard_escape(const std::string& rel_path, ParsedFile& file,
         break;  // one finding per line is enough
       }
     }
+  }
+}
+
+// ---- rule: det-drawplan-escape ----
+
+void rule_drawplan_escape(const std::string& rel_path, ParsedFile& file,
+                          std::vector<Finding>& findings) {
+  const PathScope scope = classify(rel_path);
+  if (!scope.in_sim) return;
+  // The per-sender verdict streams may only be touched inside a marked
+  // drawplan region. The region brackets are where the position accounting
+  // lives (position before, on_send, draws_per_send check); a stream draw
+  // anywhere else desyncs a sender's position from the prefix sum of its
+  // draw plan, and with it the send-time parallel verdict path's identity
+  // with the serial stream. Any mention counts — reading a stream is as
+  // suspect as drawing from it.
+  const auto regions =
+      marker_regions(file.lines, "drawplan begin", "drawplan end");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (!contains_word(file.lines[i].code, "net_streams_")) continue;
+    if (in_barrier_region(regions, i + 1)) continue;
+    findings.push_back(Finding{
+        rel_path, i + 1, std::string(kRuleDrawplanEscape),
+        "network verdict stream 'net_streams_' touched outside a "
+        "`// drawplan begin(<why>)` region; every draw must go through "
+        "the audited verdict site so sender stream positions stay the "
+        "prefix sum of the draw plan (DESIGN.md §4.7)"});
   }
 }
 
@@ -783,9 +812,9 @@ std::vector<std::string> collect_unordered_idents(const std::string& content) {
 
 bool rule_suppressible(std::string_view rule) {
   return rule == kRuleUnorderedIter || rule == kRuleRawRandom ||
-         rule == kRuleShardEscape || rule == kRuleRawThread ||
-         rule == kRuleUnguardedStatic || rule == kRuleNarrowingCast ||
-         rule == kRuleUnboundedMap;
+         rule == kRuleShardEscape || rule == kRuleDrawplanEscape ||
+         rule == kRuleRawThread || rule == kRuleUnguardedStatic ||
+         rule == kRuleNarrowingCast || rule == kRuleUnboundedMap;
 }
 
 std::vector<Finding> lint_file(const std::string& rel_path,
@@ -796,6 +825,7 @@ std::vector<Finding> lint_file(const std::string& rel_path,
   rule_unordered_iter(rel_path, file, opts, findings);
   rule_raw_random(rel_path, file, findings);
   rule_shard_escape(rel_path, file, findings);
+  rule_drawplan_escape(rel_path, file, findings);
   rule_raw_thread(rel_path, file, findings);
   rule_unguarded_static(rel_path, file, findings);
   rule_narrowing_cast(rel_path, file, findings);

@@ -24,12 +24,23 @@
 //                           sim/shard_pool (the sharded engine's one
 //                           sanctioned thread owner), or — in sim/shard*
 //                           files — engine-global simulation state
-//                           (next_seq_, net_rng_, notary_, metrics_, now_,
-//                           queue_, started_) touched outside a
+//                           (next_seq_, net_streams_, notary_, metrics_,
+//                           now_, queue_, started_) touched outside a
 //                           `// shard-barrier begin(<why>)` ...
 //                           `// shard-barrier end` region. Shard code may
 //                           only touch global state at the window barrier,
 //                           where every shard thread is parked.
+//     det-drawplan-escape   in src/sim/: the per-sender network verdict
+//                           streams (net_streams_) touched outside a
+//                           `// drawplan begin(<why>)` ...
+//                           `// drawplan end` region. The draw-plan RNG
+//                           replay contract (DESIGN.md §4.7) holds only if
+//                           every stream draw goes through the audited
+//                           verdict site, where position accounting
+//                           brackets each on_send; a stray draw desyncs
+//                           the sender's stream position from the prefix
+//                           sum of its draw plan and breaks shard-count
+//                           identity.
 //
 //   concurrency
 //     conc-raw-thread       std::thread / std::jthread / std::async /
@@ -76,6 +87,7 @@ namespace scup::lint {
 inline constexpr std::string_view kRuleUnorderedIter = "det-unordered-iter";
 inline constexpr std::string_view kRuleRawRandom = "det-raw-random";
 inline constexpr std::string_view kRuleShardEscape = "det-shard-escape";
+inline constexpr std::string_view kRuleDrawplanEscape = "det-drawplan-escape";
 inline constexpr std::string_view kRuleRawThread = "conc-raw-thread";
 inline constexpr std::string_view kRuleUnguardedStatic =
     "conc-unguarded-static";

@@ -139,7 +139,7 @@ TEST(RuleRawThread, ExemptInsideScenarioMatrix) {
 TEST(RuleShardEscape, FiresOnThreadsAndGlobalsInShardFiles) {
   const auto findings =
       lint_fixture("det_shard_escape_bad.cpp", "src/sim/sharded_engine.cpp");
-  // std::thread spawn, .detach, next_seq_, net_rng_.
+  // std::thread spawn, .detach, next_seq_, metrics_.
   EXPECT_EQ(count_rule(findings, kRuleShardEscape), 4u);
   EXPECT_TRUE(has_finding(findings, kRuleShardEscape, 7));
   EXPECT_TRUE(has_finding(findings, kRuleShardEscape, 12));
@@ -179,6 +179,31 @@ TEST(RuleShardEscape, QuietInsideBarrierRegion) {
   const auto findings =
       lint_fixture("det_shard_escape_ok.cpp", "src/sim/sharded_engine.cpp");
   EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(RuleDrawplanEscape, FiresOutsideDrawplanRegions) {
+  // Two mentions of net_streams_ (the direct draw and the reference
+  // alias); the alias's later use is invisible to the token rule, which
+  // is exactly why taking the alias is itself a finding.
+  const auto findings =
+      lint_fixture("det_drawplan_escape_bad.cpp", "src/sim/simulation.cpp");
+  EXPECT_EQ(count_rule(findings, kRuleDrawplanEscape), 2u);
+  EXPECT_TRUE(has_finding(findings, kRuleDrawplanEscape, 6));
+  EXPECT_TRUE(has_finding(findings, kRuleDrawplanEscape, 7));
+}
+
+TEST(RuleDrawplanEscape, QuietInsideDrawplanRegion) {
+  const auto findings =
+      lint_fixture("det_drawplan_escape_ok.cpp", "src/sim/simulation.cpp");
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(RuleDrawplanEscape, ScopedToSim) {
+  // The streams are a simulator-internal invariant; core/ and tests/
+  // never see them.
+  const auto findings =
+      lint_fixture("det_drawplan_escape_bad.cpp", "src/core/fix.cpp");
+  EXPECT_EQ(count_rule(findings, kRuleDrawplanEscape), 0u);
 }
 
 TEST(RuleUnguardedStatic, FiresOnMutableStaticOnly) {
