@@ -47,7 +47,8 @@ ScpNode::ScpNode(sim::ProtocolHost& host, std::size_t universe,
                         ? std::make_unique<fbqs::QuorumEngine>()
                         : nullptr),
       engine_(engine == nullptr ? owned_engine_.get() : engine),
-      sender_qset_id_(universe, fbqs::kNoQSetId) {
+      sender_qset_id_(universe, fbqs::kNoQSetId),
+      qset_rebinds_(universe, 0) {
   // NOTE: host_.self() is not valid yet (composed hosts learn their id at
   // install time), so self's sender_qset_id_ entry is bound lazily by the
   // first emit; quorum checks cannot run before that.
@@ -211,6 +212,15 @@ void ScpNode::bind_qset(ProcessId id, const fbqs::QSet& q) {
   // fingerprint of their members' qset assignment and re-validate on
   // lookup, so a rebound sender just stops matching old entries.
   if (cur != fbqs::kNoQSetId && engine_->qset(cur) == q) return;
+  // Rebind budget: each intern() of an unseen qset is permanent engine
+  // memory, and the sender chooses the qset — so a rotating-qset adversary
+  // gets kMaxQsetRebinds fresh interns, then keeps its current binding.
+  // (Quorum checks keep using the last accepted qset, which is sound: past
+  // the budget the sender is provably faulty and its qset arbitrary.)
+  if (cur != fbqs::kNoQSetId) {
+    if (qset_rebinds_[id] >= kMaxQsetRebinds) return;
+    ++qset_rebinds_[id];
+  }
   sender_qset_id_[id] = engine_->intern(q);
 }
 

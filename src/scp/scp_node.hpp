@@ -112,6 +112,14 @@ class ScpNode {
 
   const fbqs::QuorumEngine& engine() const { return *engine_; }
 
+  /// Per-sender budget of qset *rebinds* (announcing a structurally new
+  /// qset after the first binding). Correct senders rebind at most once —
+  /// when their ballot stream takes over from nomination — while a
+  /// Byzantine sender rotating a fresh qset per envelope would otherwise
+  /// grow the engine's intern table without bound. Past the budget the
+  /// sender keeps its current binding.
+  static constexpr std::size_t kMaxQsetRebinds = 8;
+
   /// Latest ballot-protocol envelopes by sender (self included) — lets
   /// tests audit every statement this node currently believes / has
   /// emitted (e.g. the PREPARE commit-range invariant).
@@ -236,6 +244,8 @@ class ScpNode {
   /// Effective interned qset per sender (ballot-stream envelope wins; they
   /// are the same for correct senders anyway). kNoQSetId = never heard.
   std::vector<fbqs::QSetId> sender_qset_id_;
+  /// Rebinds consumed per sender, capped at kMaxQsetRebinds (fits a byte).
+  std::vector<std::uint8_t> qset_rebinds_;
   /// Materialized support views; `mutable` because they are a cache over
   /// the envelope maps, lazily extended by const query paths.
   mutable std::unordered_map<PredKey, NodeSet, PredKeyHash> support_;

@@ -147,6 +147,28 @@ TEST(ScpTest, NominationEquivocatorCannotSplit) {
   h.check_agreement_validity(4);
 }
 
+TEST(ScpTest, RotatingQsetsAreBoundedByTheRebindBudget) {
+  // A Byzantine sender announcing a structurally fresh qset on every
+  // envelope must not grow the quorum engine's intern table without bound —
+  // every intern() of an unseen qset is permanent engine memory, and the
+  // sender chooses the qset. Past the per-sender rebind budget the node
+  // keeps the sender's current binding.
+  ScpOnlyNode node(/*universe=*/32, /*f=*/1, majority_qset(32, 1),
+                   /*value=*/7);
+  const std::size_t before = node.scp_.engine().interned_count();
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    NominateStmt stmt;
+    stmt.voted.insert(42);
+    const std::vector<ProcessId> members{static_cast<ProcessId>(i)};
+    const Envelope env(/*sender=*/2, /*seq=*/i + 1,
+                       fbqs::QSet::threshold_of(1, members), Statement{stmt});
+    EXPECT_TRUE(node.scp_.handle(2, env));
+  }
+  const std::size_t grown = node.scp_.engine().interned_count() - before;
+  EXPECT_GE(grown, 1u);  // the first binding is always accepted
+  EXPECT_LE(grown, ScpNode::kMaxQsetRebinds + 1);
+}
+
 TEST(ScpTest, DecidesUnderPreGstAsynchrony) {
   ScpHarness h(4, 1, NodeSet(4, {1}), /*seed=*/11, /*equivocator=*/false,
                /*gst=*/5'000);
