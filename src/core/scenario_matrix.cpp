@@ -22,6 +22,7 @@ void parallel_cells(std::size_t count, std::size_t threads,
   }
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
+  // scup-guarded-by: error_mutex
   std::exception_ptr first_error;
   auto worker = [&] {
     while (true) {

@@ -77,6 +77,7 @@ bool SinkDiscovery::handle(ProcessId from, const sim::Message& msg) {
   if (const auto* known = dynamic_cast<const KnownMsg*>(&msg)) {
     if (known->known.universe_size() == host_.universe()) {
       // scup-lint: bounded(keyed by sender id, at most one entry per process in the universe)
+      // scup-sanitize: `from` is the transport-authenticated sender id, not payload
       latest_known_[from] = known->known;
       responded_.add(from);
       update();

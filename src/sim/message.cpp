@@ -19,13 +19,17 @@ std::mutex& registry_mutex() {
   static std::mutex mutex;
   return mutex;
 }
+// scup-analyze: requires-lock(registry_mutex)
 std::deque<std::string>& names_by_id() {
   // scup-lint: guarded-by(registry_mutex)
+  // scup-guarded-by: registry_mutex
   static std::deque<std::string> names;
   return names;
 }
+// scup-analyze: requires-lock(registry_mutex)
 std::map<std::string, std::uint32_t>& ids_by_name() {
   // scup-lint: guarded-by(registry_mutex)
+  // scup-guarded-by: registry_mutex
   static std::map<std::string, std::uint32_t> ids;
   return ids;
 }

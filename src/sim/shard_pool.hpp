@@ -45,9 +45,13 @@ class ShardPool {
   std::mutex mutex_;
   std::condition_variable go_;
   std::condition_variable done_;
+  // scup-guarded-by: mutex_
   const std::function<void(std::size_t)>* job_ = nullptr;
+  // scup-guarded-by: mutex_
   std::uint64_t epoch_ = 0;
+  // scup-guarded-by: mutex_
   std::size_t running_ = 0;
+  // scup-guarded-by: mutex_
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

@@ -146,19 +146,20 @@ bool ShardEngine::run_window(SimTime deadline, SimTime cap) {
   window_end_ = end;
   width_sum_ += static_cast<std::uint64_t>(end - t_min);
   for (auto& shard : shards_) shard->processed_any = false;
-  pool_.run([this](std::size_t i) { drain(i); });
+  pool_.run([this, end](std::size_t i) { drain(i, end); });
   ++windows_;
   commit_staged();
   return true;
 }
 
-void ShardEngine::drain(std::size_t shard_index) {
+// scup-analyze: shard-entry(runs on every pool thread inside the window)
+void ShardEngine::drain(std::size_t shard_index, SimTime window_end) {
   ShardContext& ctx = *shards_[shard_index];
   tls_shard = &ctx;
   try {
     while (!ctx.queue.empty()) {
       const Event* head = ctx.queue.peek();
-      if (head->time >= window_end_) break;
+      if (head->time >= window_end) break;
       if (head->kind == EventKind::kDeliver && sim_.deliverable(head->target)) {
         // Pop the maximal run of consecutive deliveries to this target at
         // this tick and hand them over as one upcall. A crash/activate (or
@@ -236,6 +237,7 @@ bool ShardEngine::key_less(const ShardContext& a, std::uint32_t a_off,
 
 // shard-barrier begin(commit of one window: staged effects merge into the
 // global engine state in pedigree-key order; every shard thread is parked)
+// scup-analyze: barrier-entry(single-threaded: every shard thread is parked)
 void ShardEngine::commit_staged() {
   for (const auto& shard : shards_) {
     if (shard->error) {
@@ -316,6 +318,7 @@ void ShardEngine::commit_staged() {
 }
 // shard-barrier end
 
+// scup-analyze: owner-ok(between-windows aggregation; pulled into the shard closure only by the `stats` name collision with QuorumEngine::stats)
 ShardStats ShardEngine::stats() const {
   ShardStats total;
   total.shards = shards_.size();

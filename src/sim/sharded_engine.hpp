@@ -157,15 +157,19 @@ struct ShardContext {
   // ---- staging arenas: bump-allocated per window, freed wholesale ----
   std::vector<StagedOp> outbox;
   std::vector<StagedSign> signs;
+  // scup-owner: shard
   std::vector<std::uint64_t> key_arena;
 
   /// Pedigree of the event currently being dispatched (D in the header
   /// comment) and the per-dispatch effect counter (the k in Q).
+  // scup-owner: shard
   std::vector<std::uint64_t> current_key;
   std::uint64_t intra = 0;
 
   /// Temporary seq allocation + key bookkeeping for provisional events.
+  // scup-owner: shard
   std::uint64_t next_temp_seq = 0;
+  // scup-owner: shard
   std::map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
       provisional_keys;
 
@@ -244,13 +248,17 @@ class ShardEngine {
   /// Exclusive end of the window currently being drained. Valid only inside
   /// run_window (used by Simulation::enqueue_timer to classify a firing as
   /// provisional vs. staged).
+  // scup-analyze: owner-ok(window_end_ is written only between windows, so in-window reads see a stable value)
   SimTime window_end() const { return window_end_; }
 
   /// Aggregated instrumentation across shards.
   ShardStats stats() const;
 
  private:
-  void drain(std::size_t shard_index);
+  /// Drains one shard up to `window_end` (an immutable snapshot taken by
+  /// run_window before the pool forks, so shard threads never read the
+  /// engine's mutable window state).
+  void drain(std::size_t shard_index, SimTime window_end);
   /// Installs D(event) as the context's current pedigree key.
   void set_dispatch_key(ShardContext& ctx, const Event& e);
   /// Barrier half: merges outboxes in key order (assigning dense seqs —
@@ -268,10 +276,14 @@ class ShardEngine {
   /// Per-shard lookahead W_out(s): min cross-shard min_latency(from, to)
   /// over pairs with `from` in shard s; kTimeInfinity when s has no
   /// cross-shard pairs. Every finite entry >= 1, enforced at construction.
+  // scup-owner: engine
   std::vector<SimTime> w_out_;
   SimTime quantum_ = 1;
+  // scup-owner: engine
   SimTime window_end_ = 0;
+  // scup-owner: engine
   std::size_t windows_ = 0;
+  // scup-owner: engine
   std::uint64_t width_sum_ = 0;
 };
 

@@ -54,6 +54,7 @@ std::map<std::string, std::uint64_t> SimMetrics::protocol_counters_by_name()
 Simulation::Simulation(std::size_t n, NetworkConfig config)
     : Simulation(n, config, std::make_unique<UniformModel>(config)) {}
 
+// scup-analyze: owner-ok(construction: shard threads do not exist yet)
 Simulation::Simulation(std::size_t n, NetworkConfig config,
                        std::unique_ptr<NetworkModel> model)
     : n_(n),
@@ -123,6 +124,7 @@ void Simulation::set_shards(std::size_t shards) {
   shards_requested_ = shards;
 }
 
+// scup-analyze: owner-ok(pre-run serial phase; in-shard `start` calls resolve to SinkDiscovery::start, a name collision)
 void Simulation::start() {
   if (started_) throw std::logic_error("Simulation::start called twice");
   for (ProcessId id = 0; id < n_; ++id) {
@@ -169,6 +171,7 @@ void Simulation::start() {
   }
 }
 
+// scup-analyze: owner-ok(engine state is touched on the serial path only; the sharded path stages into the caller's ShardContext)
 void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   if (to >= n_) throw std::out_of_range("send: bad destination");
   if (from >= n_) throw std::out_of_range("send: bad sender");
@@ -229,6 +232,7 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   }
 }
 
+// scup-analyze: owner-ok(engine state is touched on the serial path only; the sharded path stages into the caller's ShardContext)
 void Simulation::route_delivery(ShardContext* ctx, ProcessId from,
                                 ProcessId to, SimTime at, MessagePtr msg) {
   Event e;
@@ -283,6 +287,7 @@ const std::uint64_t* Simulation::find_timer_generation(ProcessId target,
   return nullptr;
 }
 
+// scup-analyze: owner-ok(engine state is touched on the serial path only; the sharded path stages into the caller's ShardContext)
 void Simulation::enqueue_timer(ProcessId target, int timer_id, SimTime delay) {
   if (delay < 0) throw std::invalid_argument("set_timer: negative delay");
   const std::uint64_t generation = ++timer_generation(target, timer_id);
@@ -318,6 +323,7 @@ void Simulation::cancel_timer(ProcessId target, int timer_id) {
   ++timer_generation(target, timer_id);
 }
 
+// scup-analyze: owner-ok(the token math is pure; when sharded, the log append is staged for the barrier replay)
 Notary::Token Simulation::sign_as(ProcessId signer, std::uint64_t statement) {
   ShardContext* ctx = engine_ ? ShardEngine::current() : nullptr;
   if (ctx == nullptr) return notary_.sign(signer, statement);
@@ -360,6 +366,7 @@ void Simulation::note_delivery(const Delivery& d) {
   ctx->intra = 0;
 }
 
+// scup-analyze: owner-ok(serial path adds to metrics_ directly; the sharded path adds to the shard's window delta)
 void Simulation::counter_add(ProtoCounter counter, std::uint64_t delta) {
   ShardContext* ctx = engine_ ? ShardEngine::current() : nullptr;
   SimMetrics& m = ctx ? ctx->metrics : metrics_;
@@ -541,8 +548,10 @@ void Process::counter_add(ProtoCounter counter, std::uint64_t delta) {
 }
 
 void Process::on_messages(Delivery* batch, std::size_t count) {
+  // scup-sanitize: batch/count come from the deterministic event plane
   for (std::size_t i = 0; i < count; ++i) {
     begin_delivery(batch[i]);
+    // scup-sanitize: delivery slots were bounds-checked by the scheduler
     on_message(batch[i].from, batch[i].msg);
   }
 }

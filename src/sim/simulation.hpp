@@ -106,6 +106,7 @@ class Simulation {
   /// Current simulated time. Inside a sharded window this is the timestamp
   /// of the event the calling shard is dispatching; between runs (and in
   /// the legacy loop) it is the time of the last processed event.
+  // scup-analyze: owner-ok(in-window callers take the ShardContext branch; now_ is read only on the serial path)
   SimTime now() const {
     if (engine_ != nullptr) {
       if (const ShardContext* ctx = ShardEngine::current()) return ctx->now;
@@ -164,6 +165,7 @@ class Simulation {
 
   const SimMetrics& metrics() const { return metrics_; }
 
+  // scup-analyze: owner-ok(const view for verification; in-window signing goes through sign_as, which stages the log append)
   const Notary& notary() const { return notary_; }
 
   /// Cuts all future message deliveries *to* `id` (a partition-style fault:
@@ -223,13 +225,17 @@ class Simulation {
   std::size_t n_;
   NetworkConfig config_;
   std::unique_ptr<NetworkModel> model_;
+  // scup-owner: engine
   SimTime now_ = 0;
+  // scup-owner: engine
   std::uint64_t next_seq_ = 0;
   // drawplan begin(owner declaration: one private StreamRng substream per
   // sender, seeded from net_stream_seed; all draws go through the audited
   // verdict site in enqueue_send)
+  // scup-owner: shard
   std::vector<StreamRng> net_streams_;
   // drawplan end
+  // scup-owner: engine
   Notary notary_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> process_rngs_;
@@ -247,7 +253,9 @@ class Simulation {
   /// a handful of distinct timer ids, so a flat (id, generation) vector
   /// with linear scan beats the old per-process std::map.
   std::vector<std::vector<std::pair<int, std::uint64_t>>> timer_generations_;
+  // scup-owner: engine
   CalendarQueue queue_;
+  // scup-owner: engine
   SimMetrics metrics_;
   std::size_t shards_requested_ = 0;
   std::unique_ptr<ShardEngine> engine_;

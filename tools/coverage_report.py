@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage over src/ and enforce a floor.
+
+Walks a --coverage build tree (SCUP_COVERAGE=ON, the `coverage` CMake
+preset) for .gcda counter files, runs `gcov --json-format` on each, and
+merges the per-TU reports into one per-source-file line map: a line is
+covered when any TU executed it, and the instrumented-line universe is the
+union across TUs (headers are compiled into many TUs; the max count per
+line is what a human would call "covered").
+
+Only files under src/ of the repo root count toward the floor — tests,
+benches, tools and system headers are reported separately but never gate.
+
+Usage:
+  coverage_report.py <build-dir> [--root <repo-root>] [--floor <percent>]
+                     [--out <report-file>]
+
+Exit codes: 0 floor met (or no floor), 1 floor missed, 2 usage/tool error
+(no .gcda files, gcov missing, or gcov JSON unreadable).
+
+No gcovr/lcov dependency: plain gcov's JSON output is enough, and the
+merge is ~100 lines of stdlib Python.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                # Absolute: gcov runs in a scratch cwd (its .gcov.json.gz
+                # outputs land there, away from the build tree).
+                out.append(os.path.abspath(os.path.join(dirpath, name)))
+    return sorted(out)
+
+
+def run_gcov(gcov, gcda_paths, scratch):
+    """Runs gcov --json-format over the .gcda files, returns parsed docs.
+
+    gcov writes one <object>.gcov.json.gz per input into the cwd; batching
+    many .gcda per invocation keeps process count down.
+    """
+    docs = []
+    batch = 64
+    for i in range(0, len(gcda_paths), batch):
+        chunk = gcda_paths[i : i + batch]
+        proc = subprocess.run(
+            [gcov, "--json-format"] + chunk,
+            cwd=scratch,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(
+                "coverage_report: gcov failed: %s\n"
+                % proc.stderr.decode(errors="replace")
+            )
+            sys.exit(2)
+    for name in os.listdir(scratch):
+        if not name.endswith(".gcov.json.gz"):
+            continue
+        with gzip.open(os.path.join(scratch, name), "rb") as fh:
+            try:
+                docs.append(json.load(fh))
+            except ValueError:
+                sys.stderr.write("coverage_report: bad JSON in %s\n" % name)
+                sys.exit(2)
+    return docs
+
+
+def merge(docs, root):
+    """{rel_or_abs_path: {line_number: max_count}} across every TU."""
+    lines_by_file = {}
+    for doc in docs:
+        cwd = doc.get("current_working_directory", "")
+        for f in doc.get("files", []):
+            path = f.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.normpath(os.path.join(cwd, path))
+            try:
+                rel = os.path.relpath(path, root)
+            except ValueError:
+                rel = path
+            per_line = lines_by_file.setdefault(rel, {})
+            for line in f.get("lines", []):
+                no = line.get("line_number")
+                count = line.get("count", 0)
+                if no is None:
+                    continue
+                per_line[no] = max(per_line.get(no, 0), count)
+    return lines_by_file
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--root", default=".")
+    ap.add_argument("--floor", type=float, default=None)
+    ap.add_argument("--out", default=None)
+    args = ap.parse_args()
+
+    gcov = shutil.which("gcov")
+    if gcov is None:
+        sys.stderr.write("coverage_report: gcov not found on PATH\n")
+        return 2
+    if not os.path.isdir(args.build_dir):
+        sys.stderr.write(
+            "coverage_report: not a directory: %s\n" % args.build_dir
+        )
+        return 2
+    gcda = find_gcda(args.build_dir)
+    if not gcda:
+        sys.stderr.write(
+            "coverage_report: no .gcda under %s (configure with the "
+            "`coverage` preset and run the tests first)\n" % args.build_dir
+        )
+        return 2
+
+    root = os.path.abspath(args.root)
+    with tempfile.TemporaryDirectory() as scratch:
+        lines_by_file = merge(run_gcov(gcov, gcda, scratch), root)
+
+    rows = []
+    src_covered = 0
+    src_total = 0
+    for rel in sorted(lines_by_file):
+        if rel.startswith(".." + os.sep) or os.path.isabs(rel):
+            continue  # system/toolchain headers: outside the repo
+        per_line = lines_by_file[rel]
+        total = len(per_line)
+        covered = sum(1 for c in per_line.values() if c > 0)
+        if total == 0:
+            continue
+        rows.append((rel, covered, total))
+        if rel.startswith("src" + os.sep) or rel.startswith("src/"):
+            src_covered += covered
+            src_total += total
+
+    report = []
+    for rel, covered, total in rows:
+        report.append(
+            "%6.1f%%  %5d/%-5d  %s" % (100.0 * covered / total, covered, total, rel)
+        )
+    pct = 100.0 * src_covered / src_total if src_total else 0.0
+    report.append(
+        "coverage_report: src/ line coverage %.2f%% (%d/%d lines)"
+        % (pct, src_covered, src_total)
+    )
+    text = "\n".join(report) + "\n"
+    sys.stdout.write(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+
+    if args.floor is not None and pct < args.floor:
+        sys.stderr.write(
+            "coverage_report: src/ line coverage %.2f%% is below the "
+            "--floor %.2f%%\n" % (pct, args.floor)
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

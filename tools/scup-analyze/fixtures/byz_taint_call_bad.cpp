@@ -1,0 +1,24 @@
+// Interprocedural byz-taint: handle() passes a message field through a
+// helper whose summary says that parameter reaches a map subscript.
+#include <map>
+
+struct VoteMsg {
+  unsigned view;
+  unsigned value;
+};
+
+class Tally {
+ public:
+  bool handle(unsigned from, const VoteMsg& msg);
+
+ private:
+  void admit(unsigned view, unsigned voter);
+  std::map<unsigned, unsigned> votes_;
+};
+
+void Tally::admit(unsigned view, unsigned voter) { votes_[view] = voter; }
+
+bool Tally::handle(unsigned from, const VoteMsg& msg) {
+  admit(msg.view, from);
+  return true;
+}

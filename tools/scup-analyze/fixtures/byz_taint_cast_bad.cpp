@@ -1,0 +1,25 @@
+// A dynamic_cast in a branch condition is a type test, not a value check:
+// it must not launder the casted message.
+#include <map>
+
+struct Base {
+  virtual ~Base() = default;
+};
+
+struct Slotted : Base {
+  unsigned slot = 0;
+};
+
+class Book {
+ public:
+  void handle(const Base& msg);
+
+ private:
+  std::map<unsigned, int> slots_;
+};
+
+void Book::handle(const Base& msg) {
+  if (const auto* s = dynamic_cast<const Slotted*>(&msg)) {
+    slots_[s->slot] = 1;
+  }
+}

@@ -1,0 +1,27 @@
+// Structural guards and scup-sanitize keep byz-taint quiet: a comparison
+// in a branch condition bounds the slot, and the annotation documents the
+// sender-id subscript the analyzer cannot prove safe.
+#include <map>
+
+struct KnownMsg {
+  unsigned slot;
+};
+
+class Window {
+ public:
+  bool handle(unsigned from, const KnownMsg& msg);
+
+ private:
+  std::map<unsigned, unsigned> latest_;
+  unsigned limit_ = 16;
+};
+
+bool Window::handle(unsigned from, const KnownMsg& msg) {
+  if (msg.slot >= limit_) {
+    return true;
+  }
+  latest_[msg.slot] = 1;
+  // scup-sanitize: sender ids are authenticated by the transport layer
+  latest_[from] = msg.slot;
+  return true;
+}

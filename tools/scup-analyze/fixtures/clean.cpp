@@ -1,0 +1,20 @@
+// A well-behaved file: every handler input is bounded before use, no
+// annotations needed.
+#include <map>
+
+class Ledger {
+ public:
+  bool handle(unsigned from, unsigned slot);
+
+ private:
+  std::map<unsigned, unsigned> decisions_;
+  unsigned window_ = 8;
+};
+
+bool Ledger::handle(unsigned from, unsigned slot) {
+  if (slot >= window_ || from >= 64) {
+    return false;
+  }
+  decisions_[slot] = from;
+  return true;
+}

@@ -1,0 +1,31 @@
+// lock-discipline: a guarded field touched without the lock, and a
+// requires-lock callee invoked by a caller that does not hold the mutex.
+#include <mutex>
+
+class Registry {
+ public:
+  void put(int v);
+  void drop();
+  int peek();
+
+ private:
+  void unlocked_put(int v);
+  std::mutex mu_;
+  // scup-guarded-by: mu_
+  int count_ = 0;
+};
+
+void Registry::put(int v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  unlocked_put(v);
+}
+
+// scup-analyze: requires-lock(mu_)
+void Registry::unlocked_put(int v) { count_ += v; }
+
+void Registry::drop() { count_ = 0; }
+
+int Registry::peek() {
+  unlocked_put(1);
+  return 0;
+}

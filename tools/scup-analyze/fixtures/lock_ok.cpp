@@ -1,0 +1,26 @@
+// The accessor pattern from src/sim/message.cpp: a function-local static
+// guarded by a module mutex, reached only through requires-lock accessors
+// whose callers take the lock.
+#include <mutex>
+#include <vector>
+
+namespace {
+
+std::mutex& reg_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// scup-analyze: requires-lock(reg_mutex)
+std::vector<int>& reg_rows() {
+  // scup-guarded-by: reg_mutex
+  static std::vector<int> rows;
+  return rows;
+}
+
+}  // namespace
+
+int reg_count() {
+  const std::lock_guard<std::mutex> lock(reg_mutex());
+  return static_cast<int>(reg_rows().size());
+}

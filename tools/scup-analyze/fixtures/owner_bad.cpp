@@ -1,0 +1,28 @@
+// Ownership violations: engine-owned state touched from the shard-window
+// closure (via a call edge), shard-owned state touched from serial code,
+// and a lexical shard-barrier region on a function the call-graph model
+// does not place at the barrier.
+class Engine {
+ public:
+  void drain(int i);
+  void commit();
+
+ private:
+  void bump();
+  // scup-owner: engine
+  long clock_sum_ = 0;
+  // scup-owner: shard
+  long outbox_bytes_ = 0;
+};
+
+// scup-analyze: shard-entry(runs on shard threads inside the window)
+void Engine::drain(int i) {
+  outbox_bytes_ += i;
+  bump();
+}
+
+void Engine::bump() { clock_sum_ += 1; }
+
+// shard-barrier begin
+void Engine::commit() { outbox_bytes_ = 0; }
+// shard-barrier end

@@ -1,0 +1,24 @@
+// The audited dual-context form: owner-ok excuses a function that touches
+// engine state from shard context, and barrier-entry code may touch
+// barrier-owned state.
+class Plane {
+ public:
+  void drain();
+  void commit();
+
+ private:
+  void stamp();
+  // scup-owner: engine
+  long seq_counter_ = 0;
+  // scup-owner: barrier
+  long merge_count_ = 0;
+};
+
+// scup-analyze: shard-entry(window drain)
+void Plane::drain() { stamp(); }
+
+// scup-analyze: owner-ok(audited: only bumps the counter, order-free)
+void Plane::stamp() { seq_counter_ += 1; }
+
+// scup-analyze: barrier-entry(window commit)
+void Plane::commit() { merge_count_ += 1; }

@@ -1,0 +1,131 @@
+// lock-discipline: `// scup-guarded-by: M` symbols must only be touched by
+// functions that lock M (a lock_guard/unique_lock/scoped_lock/shared_lock
+// statement naming M anywhere in the body — lock coverage is deliberately
+// function-granular, see analyze.hpp) or that declare
+// `// scup-analyze: requires-lock(M)`; and every caller of a
+// requires-lock(M) function must itself lock or require M.
+//
+// Scope of a guarded symbol: methods of the declaring class for fields,
+// the declaring function for function-locals/statics, the declaring TU for
+// namespace-scope variables.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze_internal.hpp"
+
+namespace scup::analyze {
+
+namespace {
+
+bool locks_or_requires(const FunctionSym& f, const std::string& mutex,
+                       std::size_t* requires_idx = nullptr) {
+  for (const std::string& t : f.locked_tokens) {
+    if (t == mutex) return true;
+  }
+  for (std::size_t i = 0; i < f.requires_locks.size(); ++i) {
+    if (f.requires_locks[i] == mutex) {
+      if (requires_idx != nullptr) *requires_idx = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool mentions(const FunctionSym& f, const std::string& name) {
+  for (const Stmt& s : f.stmts) {
+    for (const Tok& t : s.toks) {
+      if (t.ident && t.text == name) return true;
+    }
+  }
+  return false;
+}
+
+std::string fn_label(const FunctionSym& f) {
+  return f.cls.empty() ? f.name : f.cls + "::" + f.name;
+}
+
+}  // namespace
+
+void run_locks(ProjectIndex& ix, std::vector<Finding>& out) {
+  std::vector<TU>& tus = *ix.tus;
+
+  // Guarded-symbol access checks.
+  for (const FieldRef& gr : ix.guarded_fields) {
+    FieldSym& d = ix.field(gr);
+    bool any_access = false;
+    for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+      for (FunctionSym& f : tus[ti].functions) {
+        // Scope: declaring function for locals, declaring class's methods
+        // for fields, declaring TU for namespace-scope symbols.
+        if (!d.func.empty()) {
+          if (ti != gr.tu || f.name != d.func) continue;
+        } else if (!d.cls.empty()) {
+          if (f.cls != d.cls) continue;
+        } else if (ti != gr.tu) {
+          continue;
+        }
+        if (!mentions(f, d.name)) continue;
+        any_access = true;
+        std::size_t req = 0;
+        if (locks_or_requires(f, d.guarded_by, &req)) {
+          // An access excused by requires-lock keeps that annotation live.
+          if (req < f.requires_lock_anns.size() &&
+              !f.requires_locks.empty() &&
+              f.requires_locks[req] == d.guarded_by) {
+            ix.ann(ti, f.requires_lock_anns[req]).consumed = true;
+          }
+          continue;
+        }
+        out.push_back(Finding{
+            f.file, f.line, std::string(kRuleLockUnguarded),
+            fn_label(f) + " touches '" + d.name + "' (guarded by " +
+                d.guarded_by + ") without locking it — take the lock, or "
+                "annotate the function `// scup-analyze: requires-lock(" +
+                d.guarded_by + ")`"});
+      }
+    }
+    if (any_access && d.guarded_ann >= 0) {
+      ix.ann(gr.tu, d.guarded_ann).consumed = true;
+    }
+  }
+
+  // requires-lock call-site checks: a caller must hold (or require) the
+  // mutex its callee's contract names.
+  for (const FnRef& rf : ix.requires_lock_fns) {
+    FunctionSym& callee = ix.fn(rf);
+    std::set<std::string> seen_callers;
+    for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+      for (FunctionSym& g : tus[ti].functions) {
+        for (const CallSite& c : g.calls) {
+          if (c.name != callee.name) continue;
+          bool resolves = false;
+          for (const FnRef& r : ix.resolve(g, c)) {
+            if (r == rf) {
+              resolves = true;
+              break;
+            }
+          }
+          if (!resolves) continue;
+          for (std::size_t mi = 0; mi < callee.requires_locks.size(); ++mi) {
+            const std::string& mutex = callee.requires_locks[mi];
+            if (mi < callee.requires_lock_anns.size()) {
+              ix.ann(rf.tu, callee.requires_lock_anns[mi]).consumed = true;
+            }
+            if (locks_or_requires(g, mutex)) continue;
+            if (!seen_callers.insert(fn_label(g) + "/" + mutex).second) {
+              continue;
+            }
+            out.push_back(Finding{
+                g.file, c.line, std::string(kRuleLockCaller),
+                fn_label(g) + " calls " + fn_label(callee) +
+                    ", which requires-lock(" + mutex +
+                    "), without holding it"});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace scup::analyze

@@ -1,0 +1,145 @@
+// scup-analyze CLI: parses every src/ translation unit under the given
+// repo root into the semantic model (in parallel — parse_tu is pure), runs
+// the interprocedural rule families, and prints
+// `file:line: [rule-id] message` diagnostics.
+//
+// Exit codes (the contract CI and CTest rely on):
+//   0  clean
+//   1  findings reported
+//   2  usage/I/O error, or the --budget-ms wall-clock budget was exceeded
+//      (the gate must stay fast as src/ grows; a budget breach is a build
+//      failure someone should look at, not a silent slowdown)
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+#include "core/scenario_matrix.hpp"  // scup::core::parallel_cells
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: scup-analyze <repo-root> [--threads N] [--budget-ms N] [--dump]\n"
+    "       analyzes src/ under <repo-root>\n";
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool analyzable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool parse_count(const std::string& s, std::size_t& out) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string root_arg;
+  std::size_t threads = 0;    // 0 = hardware concurrency
+  std::size_t budget_ms = 0;  // 0 = no budget
+  bool want_dump = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads" || args[i] == "--budget-ms") {
+      if (i + 1 >= args.size() ||
+          !parse_count(args[i + 1],
+                       args[i] == "--threads" ? threads : budget_ms)) {
+        std::cerr << kUsage;
+        return 2;
+      }
+      ++i;
+    } else if (args[i] == "--dump") {
+      want_dump = true;
+    } else if (root_arg.empty()) {
+      root_arg = args[i];
+    } else {
+      std::cerr << kUsage;
+      return 2;
+    }
+  }
+  if (root_arg.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const fs::path root(root_arg);
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::cerr << "scup-analyze: no src/ under " << root_arg << "\n";
+    return 2;
+  }
+
+  // Deterministic model and output: path-sorted file list; the parallel
+  // parse writes only its own slot.
+  std::vector<std::pair<std::string, fs::path>> files;  // rel -> abs
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file() || !analyzable(entry.path())) continue;
+    files.emplace_back(fs::relative(entry.path(), root).generic_string(),
+                       entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<scup::analyze::TU> tus(files.size());
+  std::vector<std::string> read_errors(files.size());
+  scup::core::parallel_cells(files.size(), threads, [&](std::size_t i) {
+    std::string content;
+    if (!read_file(files[i].second, content)) {
+      read_errors[i] = files[i].first;
+      return;
+    }
+    tus[i] = scup::analyze::parse_tu(files[i].first, content);
+  });
+  for (const std::string& err : read_errors) {
+    if (!err.empty()) {
+      std::cerr << "scup-analyze: cannot read " << err << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<scup::analyze::Finding> findings =
+      scup::analyze::analyze(tus);
+  if (want_dump) std::cout << scup::analyze::dump(tus);
+  for (const scup::analyze::Finding& f : findings) {
+    std::cout << scup::lint::format_finding(f) << "\n";
+  }
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  if (budget_ms != 0 && static_cast<std::size_t>(elapsed) > budget_ms) {
+    std::cerr << "scup-analyze: exceeded --budget-ms " << budget_ms << " ("
+              << elapsed << "ms over " << files.size() << " files)\n";
+    return 2;
+  }
+  if (findings.empty()) {
+    std::cout << "scup-analyze: clean (" << files.size() << " files, "
+              << elapsed << "ms)\n";
+    return 0;
+  }
+  std::cout << "scup-analyze: " << findings.size() << " finding(s)\n";
+  return 1;
+}

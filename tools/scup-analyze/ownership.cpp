@@ -1,0 +1,184 @@
+// shard-ownership: the checked replacement for the lexical
+// det-shard-escape / det-drawplan-escape regions.
+//
+// Fields are annotated with their owner: `shard` state may only be touched
+// by code running on shard threads inside a window (the call-graph closure
+// of `// scup-analyze: shard-entry` functions) or at the barrier; `barrier`
+// state only by the barrier closure; `engine` state by anything *except*
+// shard-window code. `// scup-analyze: owner-ok(<why>)` marks the audited
+// dual-context functions (Simulation methods that stage when running
+// sharded and touch engine state when serial).
+//
+// The old lexical regions are kept and cross-checked (own-lexical-
+// mismatch): a `// shard-barrier` region must lie inside barrier-closure
+// functions, a `// drawplan` region inside audited (owner-ok) or
+// non-shard functions. Checks are scoped to src/sim/, where the ownership
+// vocabulary lives.
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze_internal.hpp"
+
+namespace scup::analyze {
+
+namespace {
+
+bool in_sim(const std::string& path) {
+  return path.rfind("src/sim/", 0) == 0;
+}
+
+/// Mark the call-graph closure from every entry with the given flag.
+void close_over(ProjectIndex& ix, bool FunctionSym::* entry,
+                bool FunctionSym::* member) {
+  std::deque<FnRef> work;
+  std::vector<TU>& tus = *ix.tus;
+  for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+    for (std::size_t fi = 0; fi < tus[ti].functions.size(); ++fi) {
+      FunctionSym& f = tus[ti].functions[fi];
+      if (f.*entry) {
+        f.*member = true;
+        work.push_back(FnRef{ti, fi});
+      }
+    }
+  }
+  while (!work.empty()) {
+    const FnRef r = work.front();
+    work.pop_front();
+    FunctionSym& f = ix.fn(r);
+    for (const CallSite& c : f.calls) {
+      for (const FnRef& callee : ix.resolve(f, c)) {
+        FunctionSym& g = ix.fn(callee);
+        if (!(g.*member)) {
+          g.*member = true;
+          work.push_back(callee);
+        }
+      }
+    }
+  }
+}
+
+const char* owner_name(Owner o) {
+  switch (o) {
+    case Owner::kShard:
+      return "shard";
+    case Owner::kBarrier:
+      return "barrier";
+    case Owner::kEngine:
+      return "engine";
+    case Owner::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace
+
+void run_ownership(ProjectIndex& ix, std::vector<Finding>& out) {
+  std::vector<TU>& tus = *ix.tus;
+  // Owner names must be project-unique or accesses are ambiguous.
+  {
+    std::set<std::string> seen;
+    for (TU& tu : tus) {
+      for (const FieldSym& d : tu.fields) {
+        if (d.owner == Owner::kNone) continue;
+        if (!seen.insert(d.name).second) {
+          out.push_back(Finding{
+              tu.path, d.line, std::string(kRuleUnknownAnnotation),
+              "duplicate scup-owner field name '" + d.name +
+                  "' — owner-annotated names must be project-unique"});
+        }
+      }
+    }
+  }
+  close_over(ix, &FunctionSym::shard_entry, &FunctionSym::in_shard);
+  close_over(ix, &FunctionSym::barrier_entry, &FunctionSym::in_barrier);
+
+  // Access checks, one finding per (function, field).
+  for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+    TU& tu = tus[ti];
+    if (!in_sim(tu.path)) continue;
+    for (FunctionSym& f : tu.functions) {
+      std::set<std::string> flagged;
+      for (const Stmt& s : f.stmts) {
+        for (const Tok& tk : s.toks) {
+          if (!is_analyzable_ident_token(tk)) continue;
+          const auto it = ix.owner_fields.find(tk.text);
+          if (it == ix.owner_fields.end()) continue;
+          FieldSym& d = ix.field(it->second);
+          if (d.owner_ann >= 0) {
+            ix.ann(it->second.tu, d.owner_ann).consumed = true;
+          }
+          bool violation = false;
+          switch (d.owner) {
+            case Owner::kEngine:
+              violation = f.in_shard;
+              break;
+            case Owner::kShard:
+              violation = !f.in_shard && !f.in_barrier;
+              break;
+            case Owner::kBarrier:
+              violation = !f.in_barrier;
+              break;
+            case Owner::kNone:
+              break;
+          }
+          if (!violation) continue;
+          if (f.owner_ok) {
+            if (f.owner_ok_ann >= 0) {
+              ix.ann(ti, f.owner_ok_ann).consumed = true;
+            }
+            continue;
+          }
+          if (!flagged.insert(d.name).second) continue;
+          const char* rule = d.owner == Owner::kEngine ? kRuleOwnEngine.data()
+                             : d.owner == Owner::kShard
+                                 ? kRuleOwnShard.data()
+                                 : kRuleOwnBarrier.data();
+          out.push_back(Finding{
+              tu.path, tk.line, std::string(rule),
+              "'" + d.name + "' (owner: " + owner_name(d.owner) +
+                  ") touched by " +
+                  (f.cls.empty() ? f.name : f.cls + "::" + f.name) +
+                  (d.owner == Owner::kEngine
+                       ? ", which is reachable from a shard entry point"
+                       : ", which is outside the owning region") +
+                  " — move the access, or audit it with `// scup-analyze: "
+                  "owner-ok(<why>)` on the function"});
+        }
+      }
+    }
+  }
+
+  // Lexical-region consistency: the comment regions scup-lint enforces
+  // line-wise must agree with the call-graph model.
+  for (TU& tu : tus) {
+    if (!in_sim(tu.path)) continue;
+    auto overlapping = [&](const Region& r, auto&& check,
+                           const char* expect) {
+      for (const FunctionSym& f : tu.functions) {
+        if (f.line > r.end || f.body_end < r.begin) continue;
+        if (check(f)) continue;
+        out.push_back(Finding{
+            tu.path, r.begin, std::string(kRuleOwnLexical),
+            "lexical region overlaps " +
+                (f.cls.empty() ? f.name : f.cls + "::" + f.name) +
+                ", which the ownership model does not place " + expect});
+      }
+    };
+    for (const Region& r : tu.shard_barrier_regions) {
+      overlapping(
+          r, [](const FunctionSym& f) { return f.in_barrier; },
+          "in the barrier region (expected barrier-entry closure)");
+    }
+    for (const Region& r : tu.drawplan_regions) {
+      overlapping(
+          r,
+          [](const FunctionSym& f) { return f.owner_ok || !f.in_shard; },
+          "outside unaudited shard code (expected owner-ok or non-shard)");
+    }
+  }
+}
+
+}  // namespace scup::analyze

@@ -1,0 +1,17 @@
+// Statement-range annotation binding: the single `bounded` annotation
+// below must cover the whole wrapped statement, including the flagged
+// narrowing casts sitting on both continuation lines, and count as
+// consumed (no stale-annotation finding).
+#include <cstdint>
+
+namespace scup {
+
+std::uint32_t pack(std::uint64_t view, std::uint64_t slot) {
+  // scup-lint: bounded(view and slot are range-checked by the caller)
+  const std::uint64_t packed =
+      (static_cast<std::uint32_t>(view) << 16U) +
+      static_cast<std::uint32_t>(slot);
+  return static_cast<std::uint32_t>(packed & 0xffffULL);
+}
+
+}  // namespace scup

@@ -77,7 +77,13 @@ enum class AnnotationKind {
 struct Annotation {
   AnnotationKind kind = AnnotationKind::kBounded;
   std::size_t comment_line = 0;  ///< 1-based line the comment sits on
-  std::size_t applies_line = 0;  ///< 1-based line of code it excuses
+  /// 1-based inclusive line range of the *statement* the annotation
+  /// excuses: from the first code line at or after the comment through the
+  /// first line containing a statement terminator (`;`, `{`, or `}`), so a
+  /// wrapped for-header or call keeps its annotation even after
+  /// clang-format rewraps it. Both 0 when no code follows.
+  std::size_t applies_begin = 0;
+  std::size_t applies_end = 0;
   bool consumed = false;
 };
 
@@ -164,28 +170,38 @@ ParsedFile parse_file(const std::string& rel_path,
       parse_annotations(rel_path, i + 1, out.lines[i].comment, out);
     }
   }
-  // Bind each annotation to the code line it excuses: its own line when
-  // that line has code, else the next line that does.
+  // Bind each annotation to the statement it excuses: starting at its own
+  // line when that line has code (else the next line that does), extending
+  // through the first line that carries a statement terminator. A wrapped
+  // construct (for-header, cast argument list) is covered whole.
   for (Annotation& a : out.annotations) {
     std::size_t line = a.comment_line;  // 1-based
     while (line <= out.lines.size() &&
            trim(out.lines[line - 1].code).empty()) {
       ++line;
     }
-    a.applies_line = line <= out.lines.size() ? line : 0;
+    if (line > out.lines.size()) continue;  // trailing comment: binds nothing
+    std::size_t end = line;
+    while (end < out.lines.size() &&
+           out.lines[end - 1].code.find_first_of(";{}") == std::string::npos) {
+      ++end;
+    }
+    a.applies_begin = line;
+    a.applies_end = end;
   }
   return out;
 }
 
-/// Consumes (and returns true for) an annotation of `kind` bound to
-/// `code_line`.
+/// Consumes (and returns true for) an annotation of `kind` whose statement
+/// range covers `code_line`.
 bool consume_annotation(ParsedFile& file, std::size_t code_line,
                         AnnotationKind kind) {
-  // One annotation covers every match on its line (a line with two flagged
-  // subscripts needs one `bounded`, not two).
+  // One annotation covers every match inside its statement (a wrapped call
+  // with two flagged subscripts needs one `bounded`, not two).
   bool found = false;
   for (Annotation& a : file.annotations) {
-    if (a.applies_line == code_line && a.kind == kind) {
+    if (a.kind == kind && a.applies_begin != 0 &&
+        code_line >= a.applies_begin && code_line <= a.applies_end) {
       a.consumed = true;
       found = true;
     }

@@ -1,12 +1,17 @@
 // scup-lint CLI: walks src/, tests/ and bench/ under the given repo root,
 // applies the project rule families (see lint.hpp), and prints
-// `file:line: [rule-id] message` diagnostics.
+// `file:line: [rule-id] message` diagnostics. Files are read and linted in
+// parallel (lint_file is pure); findings are concatenated in path-sorted
+// order, so the output is bit-identical for every --threads value.
 //
 // Exit codes (the contract CI and CTest rely on):
 //   0  clean — zero unsuppressed findings, zero stale suppressions
 //   1  findings reported
-//   2  usage or I/O error (bad root, unreadable suppression file)
+//   2  usage or I/O error (bad root, unreadable suppression file), or the
+//      --budget-ms wall-clock budget was exceeded (a slow gate is a build
+//      failure someone should look at, not a silent slowdown)
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -14,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/scenario_matrix.hpp"  // scup::core::parallel_cells
 #include "lint.hpp"
 
 namespace fs = std::filesystem;
@@ -21,8 +27,21 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: scup-lint <repo-root> [--suppressions <file>]\n"
+    "usage: scup-lint <repo-root> [--suppressions <file>] [--threads N]\n"
+    "                 [--budget-ms N]\n"
     "       lints src/, tests/ and bench/ under <repo-root>\n";
+
+bool parse_count(const std::string& s, std::size_t& out) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
 
 bool read_file(const fs::path& path, std::string& out) {
   std::ifstream in(path, std::ios::binary);
@@ -41,9 +60,12 @@ bool lintable(const fs::path& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto start = std::chrono::steady_clock::now();
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string root_arg;
   std::string supp_arg;
+  std::size_t threads = 0;    // 0 = hardware concurrency
+  std::size_t budget_ms = 0;  // 0 = no budget
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--suppressions") {
       if (i + 1 >= args.size()) {
@@ -51,6 +73,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       supp_arg = args[++i];
+    } else if (args[i] == "--threads" || args[i] == "--budget-ms") {
+      if (i + 1 >= args.size() ||
+          !parse_count(args[i + 1],
+                       args[i] == "--threads" ? threads : budget_ms)) {
+        std::cerr << kUsage;
+        return 2;
+      }
+      ++i;
     } else if (root_arg.empty()) {
       root_arg = args[i];
     } else {
@@ -81,18 +111,33 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  // Pass 1: project-wide unordered-container identifiers (src/ only — the
-  // det-unordered-iter rule is scoped to src/ and collecting test-local
-  // names like `set` would poison the ident list).
-  scup::lint::LintOptions opts;
-  for (const auto& [rel, abs] : files) {
-    if (rel.rfind("src/", 0) != 0) continue;
-    std::string content;
-    if (!read_file(abs, content)) {
-      std::cerr << "scup-lint: cannot read " << rel << "\n";
+  // Read every file once, in parallel; each slot is written by exactly one
+  // worker, and failures are reported in path order.
+  std::vector<std::string> contents(files.size());
+  std::vector<char> read_ok(files.size(), 0);
+  scup::core::parallel_cells(files.size(), threads, [&](std::size_t i) {
+    read_ok[i] = read_file(files[i].second, contents[i]) ? 1 : 0;
+  });
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (read_ok[i] == 0) {
+      std::cerr << "scup-lint: cannot read " << files[i].first << "\n";
       return 2;
     }
-    for (std::string& ident : scup::lint::collect_unordered_idents(content)) {
+  }
+
+  // Pass 1: project-wide unordered-container identifiers (src/ only — the
+  // det-unordered-iter rule is scoped to src/ and collecting test-local
+  // names like `set` would poison the ident list). Per-file collection is
+  // parallel; the merge walks slots in path order so the ident list (and
+  // with it rule behaviour) is independent of thread scheduling.
+  std::vector<std::vector<std::string>> per_file_idents(files.size());
+  scup::core::parallel_cells(files.size(), threads, [&](std::size_t i) {
+    if (files[i].first.rfind("src/", 0) != 0) return;
+    per_file_idents[i] = scup::lint::collect_unordered_idents(contents[i]);
+  });
+  scup::lint::LintOptions opts;
+  for (std::vector<std::string>& idents : per_file_idents) {
+    for (std::string& ident : idents) {
       if (std::find(opts.unordered_idents.begin(), opts.unordered_idents.end(),
                     ident) == opts.unordered_idents.end()) {
         opts.unordered_idents.push_back(std::move(ident));
@@ -100,15 +145,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Pass 2: rules.
+  // Pass 2: rules, one slot per file; concatenated in path order.
+  std::vector<std::vector<scup::lint::Finding>> per_file(files.size());
+  scup::core::parallel_cells(files.size(), threads, [&](std::size_t i) {
+    per_file[i] = scup::lint::lint_file(files[i].first, contents[i], opts);
+  });
   std::vector<scup::lint::Finding> findings;
-  for (const auto& [rel, abs] : files) {
-    std::string content;
-    if (!read_file(abs, content)) {
-      std::cerr << "scup-lint: cannot read " << rel << "\n";
-      return 2;
-    }
-    for (scup::lint::Finding& f : scup::lint::lint_file(rel, content, opts)) {
+  for (std::vector<scup::lint::Finding>& fs_slot : per_file) {
+    for (scup::lint::Finding& f : fs_slot) {
       findings.push_back(std::move(f));
     }
   }
@@ -151,6 +195,14 @@ int main(int argc, char** argv) {
   scup::lint::sort_findings(findings);
   for (const scup::lint::Finding& f : findings) {
     std::cout << scup::lint::format_finding(f) << "\n";
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  if (budget_ms != 0 && static_cast<std::size_t>(elapsed) > budget_ms) {
+    std::cerr << "scup-lint: exceeded --budget-ms " << budget_ms << " ("
+              << elapsed << "ms over " << files.size() << " files)\n";
+    return 2;
   }
   if (findings.empty()) {
     std::cout << "scup-lint: clean (" << files.size() << " files)\n";

@@ -246,6 +246,32 @@ TEST(RuleUnboundedMap, QuietWhenBoundedAnnotated) {
   EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
 }
 
+TEST(MetaRules, AnnotationsBindToTheWholeStatement) {
+  // One `bounded` before a wrapped statement covers flagged casts on every
+  // continuation line of that statement, and is consumed, not stale.
+  const auto findings =
+      lint_fixture("annotation_wrapped_stmt_ok.cpp", "src/fix.cpp");
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(MetaRules, AnnotationRangeStopsAtTheStatementEnd) {
+  // The statement range ends at the first terminator: a flagged construct
+  // on the *next* statement is not excused by the previous annotation.
+  const auto findings = lint_file(
+      "src/fix.cpp",
+      "void f(std::uint64_t view) {\n"
+      "  // scup-lint: bounded(view < 4 checked above)\n"
+      "  const auto a = static_cast<std::uint32_t>(view);\n"
+      "  const auto b = static_cast<std::uint32_t>(view);\n"
+      "  (void)a;\n"
+      "  (void)b;\n"
+      "}\n",
+      LintOptions{});
+  EXPECT_EQ(count_rule(findings, kRuleNarrowingCast), 1u);
+  EXPECT_TRUE(has_finding(findings, kRuleNarrowingCast, 4));
+  EXPECT_EQ(count_rule(findings, kRuleStaleAnnotation), 0u);
+}
+
 TEST(MetaRules, StaleAndUnknownAnnotations) {
   const auto findings =
       lint_fixture("stale_annotation_bad.cpp", "src/fix.cpp");
