@@ -65,6 +65,10 @@ PlaneResult run_plane(std::size_t n, std::size_t shards, SimTime horizon,
   net.min_delay = 2;
   net.max_delay = 12;
   net.seed = seed;
+  // Barrier-replay profile (E16): where window wall-clock goes — parallel
+  // drain vs. the serialized barrier phases. Timing lives in ShardStats,
+  // outside the identity contract, so the identity rows are unaffected.
+  net.shard_timing = true;
   sim::Simulation sim(n, net);
   std::vector<PlaneNode*> nodes;
   nodes.reserve(n);
@@ -103,6 +107,19 @@ void BM_Plane(benchmark::State& state) {
   state.counters["batch_upcalls"] = static_cast<double>(stats.batch_upcalls);
   state.counters["batched_messages"] =
       static_cast<double>(stats.batched_messages);
+  if (stats.timing_enabled) {
+    // Barrier-replay breakdown (last run): parallel window execution vs.
+    // the three serialized barrier phases, in milliseconds.
+    state.counters["window_ms"] = static_cast<double>(stats.window_ns) / 1e6;
+    state.counters["merge_ms"] = static_cast<double>(stats.merge_ns) / 1e6;
+    state.counters["replay_ms"] = static_cast<double>(stats.replay_ns) / 1e6;
+    state.counters["reset_ms"] = static_cast<double>(stats.reset_ns) / 1e6;
+    state.counters["drain_ms"] = static_cast<double>(stats.drain_ns) / 1e6;
+    for (std::size_t s = 0; s < stats.shard_drain_ns.size(); ++s) {
+      state.counters["drain_s" + std::to_string(s) + "_ms"] =
+          static_cast<double>(stats.shard_drain_ns[s]) / 1e6;
+    }
+  }
 }
 BENCHMARK(BM_Plane)
     ->ArgNames({"n", "shards"})

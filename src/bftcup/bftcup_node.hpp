@@ -19,12 +19,23 @@
 
 namespace scup::bftcup {
 
+/// Frame ids 48/49 (see the allocation table in sim/wire.hpp callers).
+inline constexpr std::uint16_t kWireTypeDecisionRequest = 48;
+inline constexpr std::uint16_t kWireTypeDecision = 49;
+
 /// Flooded request: `origin` wants the decided value.
 struct DecisionRequestMsg final : sim::Message {
   explicit DecisionRequestMsg(ProcessId o) : origin(o) {}
   ProcessId origin;
   std::string type_name() const override { return "bftcup.decision_req"; }
   std::size_t byte_size() const override { return 20; }
+  std::uint16_t wire_type() const override { return kWireTypeDecisionRequest; }
+  void wire_encode(sim::WireWriter& w) const override { w.u32(origin); }
+  static sim::MessagePtr wire_decode(sim::WireReader& r) {
+    const ProcessId origin = r.u32();
+    if (!r.ok()) return nullptr;
+    return sim::make_message<DecisionRequestMsg>(origin);
+  }
 };
 
 /// A (claimed) decided value; non-sink members require > f matching senders.
@@ -33,6 +44,13 @@ struct DecisionMsg final : sim::Message {
   Value value;
   std::string type_name() const override { return "bftcup.decision"; }
   std::size_t byte_size() const override { return 24; }
+  std::uint16_t wire_type() const override { return kWireTypeDecision; }
+  void wire_encode(sim::WireWriter& w) const override { w.u64(value); }
+  static sim::MessagePtr wire_decode(sim::WireReader& r) {
+    const Value value = r.u64();
+    if (!r.ok()) return nullptr;
+    return sim::make_message<DecisionMsg>(value);
+  }
 };
 
 class BftCupNode : public sim::ComposedNode {

@@ -19,6 +19,43 @@ std::uint64_t viewchange_hash(std::uint32_t new_view,
   return hash_mix(0x33330000ULL + new_view, prepared_view, prepared_value);
 }
 
+void wire_put_viewchange_record(sim::WireWriter& w,
+                                const ViewChangeRecord& r) {
+  w.u32(r.sender);
+  w.u32(r.new_view);
+  w.u32(r.prepared_view);
+  w.u64(r.prepared_value);
+  w.u32(static_cast<std::uint32_t>(r.prepare_cert.size()));
+  for (const SignedToken& t : r.prepare_cert) {
+    w.u32(t.signer);
+    w.u64(t.token);
+  }
+  w.u64(r.token);
+}
+
+std::optional<ViewChangeRecord> wire_get_viewchange_record(sim::WireReader& r) {
+  ViewChangeRecord record;
+  record.sender = r.u32();
+  record.new_view = r.u32();
+  record.prepared_view = r.u32();
+  record.prepared_value = r.u64();
+  const std::uint32_t cert_count = r.u32();
+  if (!r.fits(cert_count, 12)) {
+    r.fail();
+    return std::nullopt;
+  }
+  record.prepare_cert.reserve(cert_count);
+  for (std::uint32_t i = 0; i < cert_count; ++i) {
+    SignedToken token;
+    token.signer = r.u32();
+    token.token = r.u64();
+    record.prepare_cert.push_back(token);
+  }
+  record.token = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return record;
+}
+
 PbftConsensus::PbftConsensus(sim::ProtocolHost& host, NodeSet members,
                              PbftConfig config)
     : host_(host),

@@ -22,8 +22,16 @@
 #include "common/node_set.hpp"
 #include "sim/host.hpp"
 #include "sim/message.hpp"
+#include "sim/wire.hpp"
 
 namespace scup::bftcup {
+
+/// Frame ids 32..36 (see the allocation table in sim/wire.hpp callers).
+inline constexpr std::uint16_t kWireTypePrePrepare = 32;
+inline constexpr std::uint16_t kWireTypePrepare = 33;
+inline constexpr std::uint16_t kWireTypeCommit = 34;
+inline constexpr std::uint16_t kWireTypeViewChange = 35;
+inline constexpr std::uint16_t kWireTypeNewView = 36;
 
 inline constexpr int kPbftTimerId = 200;
 
@@ -50,6 +58,17 @@ struct PrePrepareMsg final : sim::Message {
   std::uint32_t view;
   Value value;
   std::string type_name() const override { return "pbft.preprepare"; }
+  std::uint16_t wire_type() const override { return kWireTypePrePrepare; }
+  void wire_encode(sim::WireWriter& w) const override {
+    w.u32(view);
+    w.u64(value);
+  }
+  static sim::MessagePtr wire_decode(sim::WireReader& r) {
+    const std::uint32_t view = r.u32();
+    const Value value = r.u64();
+    if (!r.ok()) return nullptr;
+    return sim::make_message<PrePrepareMsg>(view, value);
+  }
 };
 
 struct PrepareMsg final : sim::Message {
@@ -59,6 +78,19 @@ struct PrepareMsg final : sim::Message {
   Value value;
   std::uint64_t token;  // sign(sender, prepare_hash(view, value))
   std::string type_name() const override { return "pbft.prepare"; }
+  std::uint16_t wire_type() const override { return kWireTypePrepare; }
+  void wire_encode(sim::WireWriter& w) const override {
+    w.u32(view);
+    w.u64(value);
+    w.u64(token);
+  }
+  static sim::MessagePtr wire_decode(sim::WireReader& r) {
+    const std::uint32_t view = r.u32();
+    const Value value = r.u64();
+    const std::uint64_t token = r.u64();
+    if (!r.ok()) return nullptr;
+    return sim::make_message<PrepareMsg>(view, value, token);
+  }
 };
 
 struct CommitMsg final : sim::Message {
@@ -68,6 +100,19 @@ struct CommitMsg final : sim::Message {
   Value value;
   std::uint64_t token;  // sign(sender, commit_hash(view, value))
   std::string type_name() const override { return "pbft.commit"; }
+  std::uint16_t wire_type() const override { return kWireTypeCommit; }
+  void wire_encode(sim::WireWriter& w) const override {
+    w.u32(view);
+    w.u64(value);
+    w.u64(token);
+  }
+  static sim::MessagePtr wire_decode(sim::WireReader& r) {
+    const std::uint32_t view = r.u32();
+    const Value value = r.u64();
+    const std::uint64_t token = r.u64();
+    if (!r.ok()) return nullptr;
+    return sim::make_message<CommitMsg>(view, value, token);
+  }
 };
 
 /// A view-change vote: "I move to view `new_view`; the highest value I
@@ -82,12 +127,26 @@ struct ViewChangeRecord {
   std::uint64_t token = 0;  // sign(sender, viewchange_hash(...))
 };
 
+/// ViewChangeRecord payload codec, shared by ViewChangeMsg and the
+/// NewViewMsg justification list.
+void wire_put_viewchange_record(sim::WireWriter& w, const ViewChangeRecord& r);
+std::optional<ViewChangeRecord> wire_get_viewchange_record(sim::WireReader& r);
+
 struct ViewChangeMsg final : sim::Message {
   explicit ViewChangeMsg(ViewChangeRecord r) : record(std::move(r)) {}
   ViewChangeRecord record;
   std::string type_name() const override { return "pbft.viewchange"; }
   std::size_t byte_size() const override {
     return 64 + record.prepare_cert.size() * 12;
+  }
+  std::uint16_t wire_type() const override { return kWireTypeViewChange; }
+  void wire_encode(sim::WireWriter& w) const override {
+    wire_put_viewchange_record(w, record);
+  }
+  static sim::MessagePtr wire_decode(sim::WireReader& r) {
+    std::optional<ViewChangeRecord> record = wire_get_viewchange_record(r);
+    if (!record.has_value()) return nullptr;
+    return sim::make_message<ViewChangeMsg>(std::move(*record));
   }
 };
 
@@ -102,6 +161,35 @@ struct NewViewMsg final : sim::Message {
   std::string type_name() const override { return "pbft.newview"; }
   std::size_t byte_size() const override {
     return 64 + justification.size() * 80;
+  }
+  std::uint16_t wire_type() const override { return kWireTypeNewView; }
+  void wire_encode(sim::WireWriter& w) const override {
+    w.u32(view);
+    w.u64(value);
+    w.u32(static_cast<std::uint32_t>(justification.size()));
+    for (const ViewChangeRecord& record : justification) {
+      wire_put_viewchange_record(w, record);
+    }
+  }
+  static sim::MessagePtr wire_decode(sim::WireReader& r) {
+    const std::uint32_t view = r.u32();
+    const Value value = r.u64();
+    const std::uint32_t count = r.u32();
+    // A record is at least 32 bytes, so a forged count cannot reserve an
+    // oversized justification vector.
+    if (!r.fits(count, 32)) {
+      r.fail();
+      return nullptr;
+    }
+    std::vector<ViewChangeRecord> justification;
+    justification.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::optional<ViewChangeRecord> record = wire_get_viewchange_record(r);
+      if (!record.has_value()) return nullptr;
+      justification.push_back(std::move(*record));
+    }
+    if (!r.ok()) return nullptr;
+    return sim::make_message<NewViewMsg>(view, value, std::move(justification));
   }
 };
 

@@ -71,8 +71,8 @@ void ScpEquivocatorNode::on_sink(const sinkdetector::GetSinkResult& result) {
     if (peer == id()) continue;
     scp::NominateStmt stmt;
     stmt.voted.insert(peer % 2 == 0 ? value_a_ : value_b_);
-    send(peer, std::make_shared<const scp::Envelope>(id(), /*seq=*/1, qset,
-                                                     scp::Statement{stmt}));
+    send(peer, sim::make_message<scp::Envelope>(id(), /*seq=*/1, qset,
+                                                scp::Statement{stmt}));
   }
 }
 

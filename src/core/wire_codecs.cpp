@@ -1,0 +1,49 @@
+#include "core/wire_codecs.hpp"
+
+#include "bftcup/bftcup_node.hpp"
+#include "bftcup/pbft.hpp"
+#include "cup/messages.hpp"
+#include "scp/envelope.hpp"
+#include "scp/ledger.hpp"
+#include "sim/wire.hpp"
+
+namespace scup::core {
+
+void register_wire_codecs() {
+  using sim::WireCodecRegistry;
+  WireCodecRegistry::register_type(cup::kWireTypeDiscover, "cup.discover",
+                                   &cup::DiscoverMsg::wire_decode);
+  WireCodecRegistry::register_type(cup::kWireTypeCertGossip, "cup.certs",
+                                   &cup::CertGossipMsg::wire_decode);
+  WireCodecRegistry::register_type(cup::kWireTypeKnown, "cup.known",
+                                   &cup::KnownMsg::wire_decode);
+  WireCodecRegistry::register_type(cup::kWireTypeGetSink, "cup.get_sink",
+                                   &cup::GetSinkMsg::wire_decode);
+  WireCodecRegistry::register_type(cup::kWireTypeSinkValue, "cup.sink_value",
+                                   &cup::SinkValueMsg::wire_decode);
+  WireCodecRegistry::register_type(scp::kWireTypeEnvelope, "scp.envelope",
+                                   &scp::Envelope::wire_decode);
+  WireCodecRegistry::register_type(scp::kWireTypeSlotEnvelope,
+                                   "scp.slot_envelope",
+                                   &scp::SlotEnvelope::wire_decode);
+  WireCodecRegistry::register_type(bftcup::kWireTypePrePrepare,
+                                   "pbft.preprepare",
+                                   &bftcup::PrePrepareMsg::wire_decode);
+  WireCodecRegistry::register_type(bftcup::kWireTypePrepare, "pbft.prepare",
+                                   &bftcup::PrepareMsg::wire_decode);
+  WireCodecRegistry::register_type(bftcup::kWireTypeCommit, "pbft.commit",
+                                   &bftcup::CommitMsg::wire_decode);
+  WireCodecRegistry::register_type(bftcup::kWireTypeViewChange,
+                                   "pbft.viewchange",
+                                   &bftcup::ViewChangeMsg::wire_decode);
+  WireCodecRegistry::register_type(bftcup::kWireTypeNewView, "pbft.newview",
+                                   &bftcup::NewViewMsg::wire_decode);
+  WireCodecRegistry::register_type(bftcup::kWireTypeDecisionRequest,
+                                   "bftcup.decision_req",
+                                   &bftcup::DecisionRequestMsg::wire_decode);
+  WireCodecRegistry::register_type(bftcup::kWireTypeDecision,
+                                   "bftcup.decision",
+                                   &bftcup::DecisionMsg::wire_decode);
+}
+
+}  // namespace scup::core

@@ -1,0 +1,20 @@
+// Decode-side registration for the wire codec (DESIGN.md §4.9).
+//
+// Encoding never needs a registry (wire_encode is a virtual on the
+// message), but turning bytes back into messages does, and the decoders
+// live above sim/ in the layer graph — so the table is populated here in
+// core/, the one module that sees every protocol family. Explicit
+// registration also sidesteps the static-initializer-dropping hazard of
+// self-registering translation units in a static library.
+#pragma once
+
+namespace scup::core {
+
+/// Registers the decoder for every protocol message family (cup discovery
+/// and gossip — which the sink detector reuses — SCP envelopes, ledger
+/// SlotEnvelopes, PBFT, and BFT-CUP dissemination) with
+/// sim::WireCodecRegistry. Idempotent and thread-safe; call before
+/// sim::decode_frame.
+void register_wire_codecs();
+
+}  // namespace scup::core

@@ -1,5 +1,7 @@
 #include "scp/envelope.hpp"
 
+#include <utility>
+
 namespace scup::scp {
 
 namespace {
@@ -112,6 +114,184 @@ Ballot working_ballot(const Statement& s) {
           [](const ExternalizeStmt& e) { return e.commit; },
       },
       s);
+}
+
+// ---- wire codec ----
+
+namespace {
+
+void put_qset(sim::WireWriter& w, const fbqs::QSet& qset) {
+  w.u32(static_cast<std::uint32_t>(qset.threshold()));
+  w.u32(static_cast<std::uint32_t>(qset.validators().size()));
+  for (ProcessId id : qset.validators()) w.u32(id);
+  w.u32(static_cast<std::uint32_t>(qset.inner_sets().size()));
+  for (const fbqs::QSet& inner : qset.inner_sets()) put_qset(w, inner);
+}
+
+fbqs::QSet get_qset(sim::WireReader& r, std::size_t depth) {
+  if (depth > kWireMaxQsetDepth) {
+    r.fail();
+    return {};
+  }
+  const std::uint32_t threshold = r.u32();
+  const std::uint32_t nvalidators = r.u32();
+  if (!r.fits(nvalidators, 4)) {
+    r.fail();
+    return {};
+  }
+  std::vector<ProcessId> validators;
+  validators.reserve(nvalidators);
+  for (std::uint32_t i = 0; i < nvalidators; ++i) validators.push_back(r.u32());
+  const std::uint32_t ninner = r.u32();
+  // Each inner set costs at least 12 bytes (three count fields).
+  if (!r.fits(ninner, 12)) {
+    r.fail();
+    return {};
+  }
+  std::vector<fbqs::QSet> inner;
+  inner.reserve(ninner);
+  for (std::uint32_t i = 0; i < ninner && r.ok(); ++i) {
+    inner.push_back(get_qset(r, depth + 1));
+  }
+  if (!r.ok()) return {};
+  // The QSet constructor throws on threshold > elements; an adversarial
+  // frame must reject cleanly instead.
+  if (threshold > validators.size() + inner.size()) {
+    r.fail();
+    return {};
+  }
+  return fbqs::QSet(threshold, std::move(validators), std::move(inner));
+}
+
+void put_ballot(sim::WireWriter& w, const Ballot& b) {
+  w.u32(b.n);
+  w.u64(b.x);
+}
+
+Ballot get_ballot(sim::WireReader& r) {
+  Ballot b;
+  b.n = r.u32();
+  b.x = r.u64();
+  return b;
+}
+
+void put_value_set(sim::WireWriter& w, const std::set<Value>& values) {
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  for (Value v : values) w.u64(v);
+}
+
+std::set<Value> get_value_set(sim::WireReader& r) {
+  const std::uint32_t count = r.u32();
+  if (!r.fits(count, 8)) {
+    r.fail();
+    return {};
+  }
+  std::set<Value> values;
+  Value prev = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Value v = r.u64();
+    // Canonical frames list values in ascending std::set order; enforcing
+    // it makes decode(encode(m)) re-encode byte-identically.
+    if (!r.ok() || (i > 0 && v <= prev)) {
+      r.fail();
+      return {};
+    }
+    values.insert(values.end(), v);
+    prev = v;
+  }
+  return values;
+}
+
+}  // namespace
+
+void wire_put_envelope(sim::WireWriter& w, const Envelope& env) {
+  w.u32(env.sender);
+  w.u64(env.seq);
+  put_qset(w, env.qset);
+  w.u8(static_cast<std::uint8_t>(env.statement.index()));
+  std::visit(Overloaded{
+                 [&](const NominateStmt& nom) {
+                   put_value_set(w, nom.voted);
+                   put_value_set(w, nom.accepted);
+                 },
+                 [&](const PrepareStmt& p) {
+                   put_ballot(w, p.b);
+                   put_ballot(w, p.p);
+                   put_ballot(w, p.p_prime);
+                   w.u32(p.c_n);
+                   w.u32(p.h_n);
+                 },
+                 [&](const ConfirmStmt& c) {
+                   put_ballot(w, c.b);
+                   w.u32(c.p_n);
+                   w.u32(c.c_n);
+                   w.u32(c.h_n);
+                 },
+                 [&](const ExternalizeStmt& e) {
+                   put_ballot(w, e.commit);
+                   w.u32(e.h_n);
+                 },
+             },
+             env.statement);
+}
+
+std::optional<Envelope> wire_get_envelope(sim::WireReader& r) {
+  const ProcessId sender = r.u32();
+  const std::uint64_t seq = r.u64();
+  fbqs::QSet qset = get_qset(r, 0);
+  const std::uint8_t tag = r.u8();
+  if (!r.ok()) return std::nullopt;
+  Statement statement;
+  switch (tag) {
+    case 0: {
+      NominateStmt nom;
+      nom.voted = get_value_set(r);
+      nom.accepted = get_value_set(r);
+      statement = std::move(nom);
+      break;
+    }
+    case 1: {
+      PrepareStmt p;
+      p.b = get_ballot(r);
+      p.p = get_ballot(r);
+      p.p_prime = get_ballot(r);
+      p.c_n = r.u32();
+      p.h_n = r.u32();
+      statement = p;
+      break;
+    }
+    case 2: {
+      ConfirmStmt c;
+      c.b = get_ballot(r);
+      c.p_n = r.u32();
+      c.c_n = r.u32();
+      c.h_n = r.u32();
+      statement = c;
+      break;
+    }
+    case 3: {
+      ExternalizeStmt e;
+      e.commit = get_ballot(r);
+      e.h_n = r.u32();
+      statement = e;
+      break;
+    }
+    default:
+      r.fail();
+      return std::nullopt;
+  }
+  if (!r.ok()) return std::nullopt;
+  return Envelope(sender, seq, std::move(qset), std::move(statement));
+}
+
+void Envelope::wire_encode(sim::WireWriter& w) const {
+  wire_put_envelope(w, *this);
+}
+
+sim::MessagePtr Envelope::wire_decode(sim::WireReader& r) {
+  std::optional<Envelope> env = wire_get_envelope(r);
+  if (!env.has_value()) return nullptr;
+  return sim::make_message<Envelope>(std::move(*env));
 }
 
 }  // namespace scup::scp

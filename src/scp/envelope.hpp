@@ -6,14 +6,26 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <variant>
 
 #include "fbqs/qset.hpp"
 #include "scp/ballot.hpp"
 #include "sim/message.hpp"
+#include "sim/wire.hpp"
 
 namespace scup::scp {
+
+/// Frame ids 16/17: one frame type per message class; the statement kind is
+/// a payload tag (u8 variant index), mirroring the in-memory variant.
+inline constexpr std::uint16_t kWireTypeEnvelope = 16;
+inline constexpr std::uint16_t kWireTypeSlotEnvelope = 17;
+
+/// Nesting bound on decoded quorum sets: canonical encodes never exceed it
+/// (in-tree qsets are at most two levels), and it stops an adversarial
+/// frame from driving the recursive decoder arbitrarily deep.
+inline constexpr std::size_t kWireMaxQsetDepth = 8;
 
 /// Nomination: x ∈ voted means "I vote to nominate x"; x ∈ accepted means
 /// "I accept that x is nominated".
@@ -81,7 +93,19 @@ struct Envelope final : sim::Message {
     }
     return base;
   }
+  std::uint16_t wire_type() const override { return kWireTypeEnvelope; }
+  void wire_encode(sim::WireWriter& w) const override;
+  static sim::MessagePtr wire_decode(sim::WireReader& r);
 };
+
+// ---- Envelope payload codec, shared with SlotEnvelope (ledger.hpp) ----
+
+/// Appends the envelope payload (sender, seq, qset, statement).
+void wire_put_envelope(sim::WireWriter& w, const Envelope& env);
+
+/// Reads an envelope payload; latches r.fail() and returns nullopt on any
+/// malformed field (bad counts, unknown statement tag, over-deep qset).
+std::optional<Envelope> wire_get_envelope(sim::WireReader& r);
 
 // ---- Statement semantics (what a statement implies its sender votes for /
 // has accepted), following the SCP whitepaper's message meanings. ----

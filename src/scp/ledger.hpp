@@ -62,6 +62,17 @@ struct SlotEnvelope final : sim::Message {
     return "scp.slot." + envelope.type_name().substr(4);
   }
   std::size_t byte_size() const override { return 8 + envelope.byte_size(); }
+  std::uint16_t wire_type() const override { return kWireTypeSlotEnvelope; }
+  void wire_encode(sim::WireWriter& w) const override {
+    w.u64(slot);
+    wire_put_envelope(w, envelope);
+  }
+  static sim::MessagePtr wire_decode(sim::WireReader& r) {
+    const std::uint64_t slot = r.u64();
+    std::optional<Envelope> env = wire_get_envelope(r);
+    if (!r.ok() || !env.has_value()) return nullptr;
+    return sim::make_message<SlotEnvelope>(slot, std::move(*env));
+  }
 };
 
 class LedgerMultiplexer {

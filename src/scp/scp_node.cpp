@@ -80,7 +80,7 @@ void ScpNode::add_peer(ProcessId peer) {
   for (const auto* map : {&latest_nom_, &latest_ballot_}) {
     const auto it = map->find(host_.self());
     if (it != map->end()) {
-      host_.host_send(peer, std::make_shared<const Envelope>(it->second));
+      host_.host_send(peer, sim::make_message<Envelope>(it->second));
     }
   }
 }
@@ -590,7 +590,7 @@ void ScpNode::emit_nomination() {
                Statement{NominateStmt{nom_voted_, nom_accepted_}});
   latest_nom_.insert_or_assign(host_.self(), env);
   note_statement_update(host_.self());
-  const auto msg = std::make_shared<const Envelope>(std::move(env));
+  const auto msg = sim::make_message<Envelope>(std::move(env));
   for (ProcessId peer : peers_) host_.host_send(peer, msg);
 }
 
@@ -599,7 +599,7 @@ void ScpNode::emit_ballot() {
   Envelope env(host_.self(), seq_, qset_, ballot_statement());
   latest_ballot_.insert_or_assign(host_.self(), env);
   note_statement_update(host_.self());
-  const auto msg = std::make_shared<const Envelope>(std::move(env));
+  const auto msg = sim::make_message<Envelope>(std::move(env));
   for (ProcessId peer : peers_) host_.host_send(peer, msg);
 }
 

@@ -101,6 +101,20 @@ struct NetworkConfig {
   /// schedules; results are bit-identical either way, only the window
   /// count changes.
   bool lookahead_global_min = false;
+
+  // ---- broadcast-plane knobs ----
+
+  /// Draw message storage from the per-Simulation slab pool
+  /// (sim/message_pool.hpp) inside run loops. Purely an allocation
+  /// strategy — results are bit-identical either way; kept selectable so
+  /// the E16 bench can A/B legacy make_shared against the pooled plane.
+  bool message_pool = true;
+
+  /// Collect the barrier-replay timing breakdown (ShardStats::*_ns) with
+  /// steady_clock timers. Off by default: wall-clock reads cost more than
+  /// a narrow window body, and timing lives outside the identity contract
+  /// (ShardStats is never part of SimMetrics).
+  bool shard_timing = false;
 };
 
 /// Link-layer policy: one verdict per send. Implementations draw all

@@ -1,9 +1,11 @@
 #include "sim/sharded_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
+#include "sim/message_pool.hpp"
 #include "sim/network_model.hpp"
 #include "sim/simulation.hpp"
 
@@ -13,6 +15,17 @@ namespace {
 /// Set for the duration of ShardEngine::drain on each participating thread;
 /// how Simulation knows a call is happening inside a window.
 thread_local ShardContext* tls_shard = nullptr;
+
+/// Monotonic wall-clock read for the barrier-replay profile. Called only
+/// when NetworkConfig::shard_timing is set, and the readings feed
+/// ShardStats (never SimMetrics), so determinism is untouched — the
+/// det-raw-random suppression for this file covers exactly this helper.
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 std::vector<SimTime> shard_window_widths(const NetworkModel& model,
@@ -91,6 +104,7 @@ ShardEngine::ShardEngine(Simulation& sim, std::size_t shards)
   quantum_ = sim.config_.lookahead_quantum > 0
                  ? sim.config_.lookahead_quantum
                  : std::max<SimTime>(1, sim.model_->base_min_latency());
+  timing_ = sim.config_.shard_timing;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     auto ctx = std::make_unique<ShardContext>();
@@ -146,7 +160,9 @@ bool ShardEngine::run_window(SimTime deadline, SimTime cap) {
   window_end_ = end;
   width_sum_ += static_cast<std::uint64_t>(end - t_min);
   for (auto& shard : shards_) shard->processed_any = false;
+  const std::uint64_t t0 = timing_ ? mono_ns() : 0;
   pool_.run([this, end](std::size_t i) { drain(i, end); });
+  if (timing_) window_ns_ += mono_ns() - t0;
   ++windows_;
   commit_staged();
   return true;
@@ -156,6 +172,11 @@ bool ShardEngine::run_window(SimTime deadline, SimTime cap) {
 void ShardEngine::drain(std::size_t shard_index, SimTime window_end) {
   ShardContext& ctx = *shards_[shard_index];
   tls_shard = &ctx;
+  // Shard threads allocate messages too (handler sends inside the window),
+  // so each drain binds the owning Simulation's pool to its thread. The
+  // pool is internally synchronized; binding is just TLS routing.
+  const MessagePool::Scope pool_scope(sim_.pool_.get());
+  const std::uint64_t t0 = timing_ ? mono_ns() : 0;
   try {
     while (!ctx.queue.empty()) {
       const Event* head = ctx.queue.peek();
@@ -203,6 +224,7 @@ void ShardEngine::drain(std::size_t shard_index, SimTime window_end) {
   } catch (...) {
     ctx.error = std::current_exception();
   }
+  if (timing_) ctx.stats.drain_ns += mono_ns() - t0;
   tls_shard = nullptr;
 }
 
@@ -257,6 +279,7 @@ void ShardEngine::commit_staged() {
   // only assigns dense seqs and routes. Note the dense seq *values* can
   // differ from a legacy run's (provisional effects never consume
   // next_seq_); only their relative order is observable, and that matches.
+  const std::uint64_t t_merge = timing_ ? mono_ns() : 0;
   for (;;) {
     std::size_t best = S;
     for (std::size_t s = 0; s < S; ++s) {
@@ -279,8 +302,11 @@ void ShardEngine::commit_staged() {
     shards_[e.target % S]->queue.push(std::move(e));
   }
 
+  if (timing_) merge_ns_ += mono_ns() - t_merge;
+
   // ---- signs: same merge, replayed into the Notary log so the combined
   // compute()+append() stream equals a serial sign() stream.
+  const std::uint64_t t_replay = timing_ ? mono_ns() : 0;
   std::fill(pos.begin(), pos.end(), 0);
   for (;;) {
     std::size_t best = S;
@@ -302,7 +328,10 @@ void ShardEngine::commit_staged() {
     sim_.notary_.append(sg.signer, sg.statement);
   }
 
+  if (timing_) replay_ns_ += mono_ns() - t_replay;
+
   // ---- metrics, time, arenas.
+  const std::uint64_t t_reset = timing_ ? mono_ns() : 0;
   for (auto& shard : shards_) {
     sim_.absorb_metrics(shard->metrics);
     if (shard->processed_any) {
@@ -315,6 +344,7 @@ void ShardEngine::commit_staged() {
     shard->key_arena.clear();
     shard->provisional_keys.clear();  // drained at dispatch; belt-and-braces
   }
+  if (timing_) reset_ns_ += mono_ns() - t_reset;
 }
 // shard-barrier end
 
@@ -324,6 +354,12 @@ ShardStats ShardEngine::stats() const {
   total.shards = shards_.size();
   total.windows = windows_;
   total.window_width_sum = width_sum_;
+  total.timing_enabled = timing_;
+  total.window_ns = window_ns_;
+  total.merge_ns = merge_ns_;
+  total.replay_ns = replay_ns_;
+  total.reset_ns = reset_ns_;
+  if (timing_) total.shard_drain_ns.reserve(shards_.size());
   for (const auto& shard : shards_) {
     total.staged_ops += shard->stats.staged_ops;
     total.arena_reused += shard->stats.arena_reused;
@@ -333,6 +369,8 @@ ShardStats ShardEngine::stats() const {
     total.provisional_events += shard->stats.provisional_events;
     total.inline_verdicts += shard->stats.inline_verdicts;
     total.provisional_sends += shard->stats.provisional_sends;
+    total.drain_ns += shard->stats.drain_ns;
+    if (timing_) total.shard_drain_ns.push_back(shard->stats.drain_ns);
   }
   return total;
 }

@@ -111,6 +111,27 @@ struct ShardStats {
   /// Sum over windows of (window_end - window_start); divide by `windows`
   /// for the average width the lookahead achieved.
   std::uint64_t window_width_sum = 0;
+
+  // ---- barrier-replay profile (NetworkConfig::shard_timing) ----
+  //
+  // Wall-clock (steady_clock) nanoseconds, collected only when the flag
+  // below is set so default runs never read a real clock. Timing is
+  // deliberately outside the identity contract: ShardStats is never part
+  // of SimMetrics, so fingerprints stay bit-identical with or without it.
+  bool timing_enabled = false;
+  /// Parallel window execution: fork, per-shard drains, join.
+  std::uint64_t window_ns = 0;
+  /// Barrier: k-way pedigree-ordered outbox merge (dense seq assignment).
+  std::uint64_t merge_ns = 0;
+  /// Barrier: staged Notary sign replay.
+  std::uint64_t replay_ns = 0;
+  /// Barrier: metrics absorption + wholesale arena reset.
+  std::uint64_t reset_ns = 0;
+  /// Sum across shards of in-window drain body time (< window_ns: the gap
+  /// is fork/join overhead plus the straggler imbalance).
+  std::uint64_t drain_ns = 0;
+  /// Per-shard drain body time (aggregate view only; empty per-shard).
+  std::vector<std::uint64_t> shard_drain_ns;
 };
 
 /// Provisional (same-window) events carry temporary sequence numbers from
@@ -285,6 +306,19 @@ class ShardEngine {
   std::size_t windows_ = 0;
   // scup-owner: engine
   std::uint64_t width_sum_ = 0;
+
+  // ---- barrier-replay profile accumulators (NetworkConfig::shard_timing;
+  // ---- engine-level sections are timed on the coordinating thread only,
+  // ---- per-shard drain time lives in ShardContext::stats) ----
+  bool timing_ = false;
+  // scup-owner: engine
+  std::uint64_t window_ns_ = 0;
+  // scup-owner: engine
+  std::uint64_t merge_ns_ = 0;
+  // scup-owner: engine
+  std::uint64_t replay_ns_ = 0;
+  // scup-owner: engine
+  std::uint64_t reset_ns_ = 0;
 };
 
 /// The per-shard lookahead vector for `shards` shards over `n` processes

@@ -36,6 +36,8 @@ const char* proto_counter_name(ProtoCounter c) {
     case ProtoCounter::kSlotWrapsShared: return "scp.slot_wraps_shared";
     case ProtoCounter::kDiscoveryPayloadBuilds: return "cup.payload_builds";
     case ProtoCounter::kDiscoveryPayloadShared: return "cup.payload_shared";
+    case ProtoCounter::kWireEncodes: return "sim.wire_encodes";
+    case ProtoCounter::kWireCachedSends: return "sim.wire_cached_sends";
     case ProtoCounter::kCount: break;
   }
   return "scp.unknown";
@@ -67,7 +69,8 @@ Simulation::Simulation(std::size_t n, NetworkConfig config,
       active_(n, 0),
       activation_time_(n, 0),
       mailboxes_(n),
-      timer_generations_(n) {
+      timer_generations_(n),
+      pool_(config.message_pool ? std::make_unique<MessagePool>() : nullptr) {
   if (!model_) throw std::invalid_argument("Simulation: null NetworkModel");
   process_rngs_.reserve(n);
   Rng seeder(config.seed ^ 0x5eedULL);
@@ -157,10 +160,14 @@ void Simulation::start() {
     e.target = id;
     queue_.push(std::move(e));
   }
-  for (ProcessId id = 0; id < n_; ++id) {
-    if (activation_time_[id] != 0 || crashed_[id]) continue;
-    active_[id] = 1;
-    processes_[id]->start();
+  {
+    // Process start() upcalls construct the first broadcast wave.
+    const MessagePool::Scope pool_scope(pool_.get());
+    for (ProcessId id = 0; id < n_; ++id) {
+      if (activation_time_[id] != 0 || crashed_[id]) continue;
+      active_[id] = 1;
+      processes_[id]->start();
+    }
   }
   if (shards_requested_ > 0) {
     // The pre-start phase above ran serially (no shard context), so its
@@ -180,8 +187,22 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, MessagePtr msg) {
   ShardContext* ctx = engine_ ? ShardEngine::current() : nullptr;
   SimMetrics& m = ctx ? ctx->metrics : metrics_;
   m.messages_sent += 1;
-  const std::size_t bytes = msg->byte_size();
+  // Wire-once accounting: codec-bearing messages are charged their exact
+  // encoded frame size, built once per message object and read from the
+  // cache on every further send; codec-less types use the memoized
+  // byte_size() estimate. The encode/cached split is deterministic (it
+  // depends only on which sends a message object fans out to), so the
+  // counters survive the cross-mode SimMetrics identity check.
+  const Message::SendSize sized = msg->send_size();
+  const std::size_t bytes = sized.bytes;
   m.bytes_sent += bytes;
+  if (sized.encoded_now) {
+    m.protocol_counters[static_cast<std::size_t>(
+        ProtoCounter::kWireEncodes)] += 1;
+  } else if (sized.from_codec) {
+    m.protocol_counters[static_cast<std::size_t>(
+        ProtoCounter::kWireCachedSends)] += 1;
+  }
   const std::uint32_t type = msg->metrics_type_id();
   if (type >= m.messages_by_type_id.size()) {
     m.messages_by_type_id.resize(type + 1, 0);
@@ -496,6 +517,7 @@ bool Simulation::step() {
 
 std::size_t Simulation::run_for(SimTime deadline) {
   if (!started_) throw std::logic_error("run_for before start");
+  const MessagePool::Scope pool_scope(pool_.get());
   if (engine_) {
     const std::size_t before = metrics_.events_processed;
     while (engine_->run_window(deadline)) {

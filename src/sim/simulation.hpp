@@ -99,6 +99,13 @@ class Simulation {
     return engine_ ? engine_->stats() : ShardStats{};
   }
 
+  /// Message-pool instrumentation (all-zero when the pool is disabled via
+  /// NetworkConfig::message_pool). Like ShardStats, kept out of SimMetrics:
+  /// allocation strategy is invisible to the identity contract.
+  MessagePool::Stats pool_stats() const {
+    return pool_ ? pool_->stats() : MessagePool::Stats{};
+  }
+
   /// Calls start() on every process not scheduled by activate() (in id
   /// order). Must be called once.
   void start();
@@ -129,6 +136,10 @@ class Simulation {
   template <typename Pred>
   bool run_until(Pred&& predicate, SimTime deadline, std::size_t stride = 1) {
     if (!started_) throw std::logic_error("run_until before start");
+    // Bind this simulation's message pool for upcalls running on the
+    // calling thread (legacy loop, and the shards==1 in-thread window
+    // path); shard threads bind it themselves in ShardEngine::drain.
+    const MessagePool::Scope pool_scope(pool_.get());
     if (predicate()) return true;
     if (engine_) {
       deadline = std::min(deadline, kTimeInfinity - 1);
@@ -259,6 +270,11 @@ class Simulation {
   SimMetrics metrics_;
   std::size_t shards_requested_ = 0;
   std::unique_ptr<ShardEngine> engine_;
+  /// Slab arena behind make_message (null when disabled). Declared after
+  /// the queues/processes it outlives within this object is irrelevant:
+  /// blocks survive the pool handle via the allocator's State keep-alive,
+  /// so member destruction order cannot dangle.
+  std::unique_ptr<MessagePool> pool_;
   bool started_ = false;
 };
 

@@ -1,0 +1,43 @@
+// Fixture: perf-hot-alloc must fire on make_shared and `new` inside the
+// per-delivery handler bodies (on_message / on_messages / handle), and
+// stay quiet on allocations outside them.
+#include <cstdint>
+#include <memory>
+
+using ProcessId = std::uint32_t;
+
+struct Message {
+  std::uint64_t payload = 0;
+};
+using MessagePtr = std::shared_ptr<const Message>;
+
+struct Delivery {
+  ProcessId from = 0;
+  MessagePtr msg;
+};
+
+struct Node {
+  void on_message(ProcessId from, const MessagePtr& msg) {
+    auto echo = std::make_shared<const Message>(*msg);
+    auto* scratch = new std::uint64_t[4];
+    scratch[0] = from + echo->payload;
+    delete[] scratch;
+  }
+
+  void on_messages(Delivery* batch, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      batch[i].msg = std::make_shared<const Message>();
+    }
+  }
+
+  bool handle(ProcessId from, const Message& msg) {
+    last_ = new Message{msg.payload + from};
+    return true;
+  }
+
+  Message* last_ = nullptr;
+};
+
+// Allocations outside handler bodies are not this rule's business: cold
+// setup paths may heap-allocate freely.
+inline MessagePtr make_cold() { return std::make_shared<const Message>(); }

@@ -1,0 +1,22 @@
+// Fixture: perf-hot-alloc stays quiet when the handler-body allocation
+// carries an alloc-ok justification.
+#include <cstdint>
+#include <memory>
+
+using ProcessId = std::uint32_t;
+
+struct Message {
+  std::uint64_t payload = 0;
+};
+using MessagePtr = std::shared_ptr<const Message>;
+
+struct Node {
+  void on_message(ProcessId from, const MessagePtr& msg) {
+    if (msg->payload == 0) {
+      // scup-lint: alloc-ok(first-contact path, runs once per peer)
+      greeting_ = std::make_shared<const Message>(Message{from});
+    }
+  }
+
+  MessagePtr greeting_;
+};

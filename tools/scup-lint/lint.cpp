@@ -72,6 +72,7 @@ enum class AnnotationKind {
   kGuardedBy,
   kThreadSafe,
   kBounded,
+  kAllocOk,
 };
 
 struct Annotation {
@@ -110,6 +111,10 @@ bool parse_annotation_name(const std::string& name, AnnotationKind& kind) {
   }
   if (name == "bounded") {
     kind = AnnotationKind::kBounded;
+    return true;
+  }
+  if (name == "alloc-ok") {
+    kind = AnnotationKind::kAllocOk;
     return true;
   }
   return false;
@@ -155,7 +160,7 @@ void parse_annotations(const std::string& rel_path, std::size_t line_no,
           rel_path, line_no, std::string(kRuleUnknownAnnotation),
           "malformed scup-lint annotation '" + name +
               "' (expected one of order-insensitive, guarded-by, "
-              "thread-safe, bounded, each with a (reason))"});
+              "thread-safe, bounded, alloc-ok, each with a (reason))"});
     }
     pos = comment.find(kAnnotationMarker, pos + kAnnotationMarker.size());
   }
@@ -621,26 +626,37 @@ void rule_narrowing_cast(const std::string& rel_path, ParsedFile& file,
   }
 }
 
-// ---- rule: byz-unbounded-map ----
+// ---- message-handler body detection (byz-unbounded-map, perf-hot-alloc) --
 
-/// 0-based line ranges of handle() message-path bodies.
+/// One message-handler shape: the method name, the in-class definition
+/// prefix that distinguishes a definition from a call site, and whether the
+/// header must name a ProcessId sender (the batch upcall takes Delivery*).
+struct HandlerSpec {
+  std::string_view name;
+  std::string_view inclass_prefix;
+  bool needs_process_id;
+};
+
+/// 0-based line ranges of message-handler bodies matching `spec`.
 std::vector<std::pair<std::size_t, std::size_t>> handler_bodies(
-    const std::vector<ScannedLine>& lines) {
+    const std::vector<ScannedLine>& lines, const HandlerSpec& spec) {
   std::vector<std::pair<std::size_t, std::size_t>> out;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
-    const std::size_t pos = find_word(code, "handle");
+    const std::size_t pos = find_word(code, spec.name);
     if (pos == std::string::npos) continue;
     if (code.find('(', pos) == std::string::npos) continue;
     // Definitions only, not call sites: the header is either an
-    // out-of-class `X::handle(` or an in-class `bool handle(`, and it names
-    // a ProcessId sender. (A declaration is filtered below by the ';'
-    // check.)
+    // out-of-class `X::name(` or an in-class `<ret> name(`. (A declaration
+    // is filtered below by the ';' check.)
     const bool qualified = pos >= 2 && code.compare(pos - 2, 2, "::") == 0;
-    const bool inclass = starts_with(trim(code), "bool handle");
+    const bool inclass = starts_with(trim(code), spec.inclass_prefix);
     if (!qualified && !inclass) continue;
     const std::string window = code_window(lines, i, 3);
-    if (window.find("ProcessId") == std::string::npos) continue;
+    if (spec.needs_process_id &&
+        window.find("ProcessId") == std::string::npos) {
+      continue;
+    }
     // Find the opening brace, then the matching close.
     int depth = 0;
     bool open_seen = false;
@@ -668,11 +684,14 @@ std::vector<std::pair<std::size_t, std::size_t>> handler_bodies(
   return out;
 }
 
+// ---- rule: byz-unbounded-map ----
+
 void rule_unbounded_map(const std::string& rel_path, ParsedFile& file,
                         std::vector<Finding>& findings) {
   const PathScope scope = classify(rel_path);
   if (!scope.in_src) return;
-  for (const auto& [begin, end] : handler_bodies(file.lines)) {
+  const HandlerSpec handle{"handle", "bool handle", true};
+  for (const auto& [begin, end] : handler_bodies(file.lines, handle)) {
     for (std::size_t i = begin; i <= end && i < file.lines.size(); ++i) {
       const std::string& code = file.lines[i].code;
       for (std::size_t k = 0; k + 1 < code.size(); ++k) {
@@ -691,6 +710,47 @@ void rule_unbounded_map(const std::string& rel_path, ParsedFile& file,
                 "' inside a handle() path inserts on lookup; a Byzantine "
                 "sender controls the key space — bound it and annotate "
                 "`// scup-lint: bounded(<the bound>)`"});
+      }
+    }
+  }
+}
+
+// ---- rule: perf-hot-alloc ----
+
+void rule_perf_hot_alloc(const std::string& rel_path, ParsedFile& file,
+                         std::vector<Finding>& findings) {
+  const PathScope scope = classify(rel_path);
+  if (!scope.in_src) return;
+  // The per-delivery hot paths: the single-message upcall, the batch
+  // upcall, and the protocol-level handle() dispatchees.
+  static constexpr HandlerSpec kHotPaths[] = {
+      {"on_message", "void on_message", true},
+      {"on_messages", "void on_messages", false},
+      {"handle", "bool handle", true},
+  };
+  for (const HandlerSpec& spec : kHotPaths) {
+    for (const auto& [begin, end] : handler_bodies(file.lines, spec)) {
+      for (std::size_t i = begin; i <= end && i < file.lines.size(); ++i) {
+        const std::string& code = file.lines[i].code;
+        std::string_view token;
+        if (contains_word(code, "make_shared")) {
+          token = "make_shared";
+        } else if (contains_word(code, "new")) {
+          token = "new";
+        } else {
+          continue;
+        }
+        if (consume_annotation(file, i + 1, AnnotationKind::kAllocOk)) {
+          continue;
+        }
+        findings.push_back(Finding{
+            rel_path, i + 1, std::string(kRulePerfHotAlloc),
+            "'" + std::string(token) +
+                "' allocates inside a message-handler body — the "
+                "per-delivery hot path (E16); construct messages with the "
+                "pooled sim::make_message, hoist the allocation out of the "
+                "handler, or annotate `// scup-lint: alloc-ok(<why this "
+                "allocation is cold or amortized>)`"});
       }
     }
   }
@@ -830,7 +890,8 @@ bool rule_suppressible(std::string_view rule) {
   return rule == kRuleUnorderedIter || rule == kRuleRawRandom ||
          rule == kRuleShardEscape || rule == kRuleDrawplanEscape ||
          rule == kRuleRawThread || rule == kRuleUnguardedStatic ||
-         rule == kRuleNarrowingCast || rule == kRuleUnboundedMap;
+         rule == kRuleNarrowingCast || rule == kRuleUnboundedMap ||
+         rule == kRulePerfHotAlloc;
 }
 
 std::vector<Finding> lint_file(const std::string& rel_path,
@@ -846,6 +907,7 @@ std::vector<Finding> lint_file(const std::string& rel_path,
   rule_unguarded_static(rel_path, file, findings);
   rule_narrowing_cast(rel_path, file, findings);
   rule_unbounded_map(rel_path, file, findings);
+  rule_perf_hot_alloc(rel_path, file, findings);
   for (const Annotation& a : file.annotations) {
     if (a.consumed) continue;
     findings.push_back(Finding{

@@ -58,6 +58,15 @@
 //                           handle() message path without a `bounded(<why>)`
 //                           annotation (Byzantine memory-bomb class).
 //
+//   performance
+//     perf-hot-alloc        std::make_shared or a `new` expression inside a
+//                           message-handler body (on_message / on_messages /
+//                           handle) in src/ without an `alloc-ok(<why>)`
+//                           annotation. Handler bodies run once per delivery
+//                           — the broadcast-plane hot path (E16); messages
+//                           must come from the pooled sim::make_message and
+//                           scratch space from reused buffers.
+//
 //   meta (the gate keeps itself honest)
 //     lint-unknown-annotation  a `// scup-lint: ...` comment naming no known
 //                              annotation.
@@ -72,8 +81,8 @@
 //     // scup-lint: <name>(<reason>)
 //
 // where <name> is one of order-insensitive, guarded-by, thread-safe,
-// bounded, and <reason> is free text (parens must balance). Reasons are
-// mandatory: an annotation is an argument, not an opt-out.
+// bounded, alloc-ok, and <reason> is free text (parens must balance).
+// Reasons are mandatory: an annotation is an argument, not an opt-out.
 #pragma once
 
 #include <cstddef>
@@ -93,6 +102,7 @@ inline constexpr std::string_view kRuleUnguardedStatic =
     "conc-unguarded-static";
 inline constexpr std::string_view kRuleNarrowingCast = "byz-narrowing-cast";
 inline constexpr std::string_view kRuleUnboundedMap = "byz-unbounded-map";
+inline constexpr std::string_view kRulePerfHotAlloc = "perf-hot-alloc";
 inline constexpr std::string_view kRuleUnknownAnnotation =
     "lint-unknown-annotation";
 inline constexpr std::string_view kRuleStaleAnnotation =

@@ -246,6 +246,32 @@ TEST(RuleUnboundedMap, QuietWhenBoundedAnnotated) {
   EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
 }
 
+TEST(RulePerfHotAlloc, FiresInsideEveryHandlerShape) {
+  const auto findings =
+      lint_fixture("perf_hot_alloc_bad.cpp", "src/fix.cpp");
+  // make_shared + new in on_message, make_shared in on_messages, new in
+  // handle; the cold make_cold() allocation stays unflagged.
+  EXPECT_EQ(count_rule(findings, kRulePerfHotAlloc), 4u);
+  EXPECT_TRUE(has_finding(findings, kRulePerfHotAlloc, 21));
+  EXPECT_TRUE(has_finding(findings, kRulePerfHotAlloc, 22));
+  EXPECT_TRUE(has_finding(findings, kRulePerfHotAlloc, 29));
+  EXPECT_TRUE(has_finding(findings, kRulePerfHotAlloc, 34));
+}
+
+TEST(RulePerfHotAlloc, QuietWhenAnnotated) {
+  const auto findings =
+      lint_fixture("perf_hot_alloc_ok.cpp", "src/fix.cpp");
+  EXPECT_TRUE(findings.empty()) << format_finding(findings.front());
+}
+
+TEST(RulePerfHotAlloc, ScopedToSrc) {
+  // bench/ and tests/ build throwaway messages by hand; the hot-path rule
+  // is a production-tree discipline.
+  const auto findings =
+      lint_fixture("perf_hot_alloc_bad.cpp", "bench/fix.cpp");
+  EXPECT_EQ(count_rule(findings, kRulePerfHotAlloc), 0u);
+}
+
 TEST(MetaRules, AnnotationsBindToTheWholeStatement) {
   // One `bounded` before a wrapped statement covers flagged casts on every
   // continuation line of that statement, and is consumed, not stale.
